@@ -1,0 +1,114 @@
+"""Comparator benchmark operations (the paper's Related Work, Section 2).
+
+Times the characteristic operations of OO1, HyperModel and OO7 on the
+shared store substrate.  Shape contracts come from each benchmark's own
+literature: OO1 lookups are cheap and traversals dominated by faults;
+HyperModel warm runs beat cold runs (its caching-effect protocol); OO7's
+T1 touches far more objects than T6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparators.hypermodel import (
+    HyperModelBenchmark,
+    HyperModelParameters,
+    build_hypermodel_store,
+)
+from repro.comparators.oo1 import OO1Benchmark, OO1Parameters, build_oo1_store
+from repro.comparators.oo7 import OO7Benchmark, OO7Parameters, build_oo7_store
+from repro.store.storage import StoreConfig
+
+
+@pytest.fixture(scope="module")
+def oo1():
+    database, store = build_oo1_store(
+        OO1Parameters(num_parts=4000, traversal_depth=4,
+                      lookups_per_run=200, inserts_per_run=20),
+        StoreConfig(buffer_pages=96))
+    return OO1Benchmark(database, store)
+
+
+@pytest.fixture(scope="module")
+def hypermodel():
+    database, store = build_hypermodel_store(
+        HyperModelParameters(levels=5, fan_out=5, inputs=25),
+        StoreConfig(buffer_pages=48))
+    return HyperModelBenchmark(database, store)
+
+
+@pytest.fixture(scope="module")
+def oo7():
+    database, store = build_oo7_store(
+        OO7Parameters(num_modules=1, assembly_levels=4, assembly_fan_out=3,
+                      comp_per_module=30, comp_per_assm=3,
+                      atomic_per_comp=10, connections_per_atomic=3),
+        StoreConfig(buffer_pages=96))
+    return OO7Benchmark(database, store)
+
+
+class TestOO1:
+    def test_lookup(self, benchmark, oo1):
+        run = benchmark.pedantic(oo1.lookup_run, rounds=3, iterations=1)
+        assert run.objects_accessed == 200
+
+    def test_traversal(self, benchmark, oo1):
+        run = benchmark.pedantic(oo1.traversal_run, rounds=3, iterations=1)
+        assert run.objects_accessed >= 1
+
+    def test_reverse_traversal(self, benchmark, oo1):
+        run = benchmark.pedantic(lambda: oo1.traversal_run(reverse=True),
+                                 rounds=3, iterations=1)
+        assert run.operation == "reverse-traversal"
+
+    def test_insert(self, benchmark, oo1):
+        run = benchmark.pedantic(oo1.insert_run, rounds=2, iterations=1)
+        assert run.io_writes > 0
+
+
+class TestHyperModel:
+    @pytest.mark.parametrize("operation", ["nameLookup", "groupLookup",
+                                           "refLookup", "closureTraversal",
+                                           "rangeLookup", "editing"])
+    def test_operation(self, benchmark, hypermodel, operation):
+        report = benchmark.pedantic(
+            lambda: hypermodel.run_operation(operation),
+            rounds=1, iterations=1)
+        benchmark.extra_info["operation"] = operation
+        benchmark.extra_info["cold_reads"] = report.cold_reads
+        benchmark.extra_info["warm_reads"] = report.warm_reads
+        # The benchmark's caching-effect protocol: warm never reads more.
+        assert report.warm_reads <= report.cold_reads
+
+    def test_seq_scan(self, benchmark, hypermodel):
+        report = benchmark.pedantic(
+            lambda: hypermodel.run_operation("seqScan"),
+            rounds=1, iterations=1)
+        assert report.inputs == 1
+
+
+class TestOO7:
+    def test_t1_full_traversal(self, benchmark, oo7):
+        run = benchmark.pedantic(oo7.t1_traversal, rounds=2, iterations=1)
+        benchmark.extra_info["objects"] = run.objects_accessed
+        assert run.objects_accessed > 100
+
+    def test_t6_root_traversal(self, benchmark, oo7):
+        run = benchmark.pedantic(oo7.t6_traversal, rounds=2, iterations=1)
+        t1 = oo7.t1_traversal()
+        assert run.objects_accessed < t1.objects_accessed
+
+    def test_q1_lookup(self, benchmark, oo7):
+        run = benchmark.pedantic(lambda: oo7.q1_lookup(10),
+                                 rounds=3, iterations=1)
+        assert run.objects_accessed == 10
+
+    def test_q3_range(self, benchmark, oo7):
+        run = benchmark.pedantic(oo7.q3_range, rounds=2, iterations=1)
+        q2 = oo7.q2_range()
+        assert q2.objects_accessed <= run.objects_accessed
+
+    def test_q7_scan(self, benchmark, oo7):
+        run = benchmark.pedantic(oo7.q7_scan, rounds=2, iterations=1)
+        assert run.objects_accessed == len(oo7.database.atomic_oids)

@@ -1,0 +1,71 @@
+"""Multi-user scaling bench (the paper's CLIENTN axis).
+
+OCB is "to be multi-user"; this bench runs the queueing simulation with
+1, 2 and 4 clients on the same database and reports throughput and mean
+response time.
+
+Shape contracts: response time grows with the number of clients
+(contention on the shared disk), while aggregate throughput does not
+degrade below the single-client level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import term_print
+from repro.core.generation import generate_database
+from repro.core.parameters import DatabaseParameters, WorkloadParameters
+from repro.multiuser.des import SimulatedMultiUser
+from repro.store.storage import StoreConfig
+
+CLIENT_COUNTS = (1, 2, 4)
+
+_REPORTS = {}
+
+
+def run_clients(clients: int):
+    db_params = DatabaseParameters(num_classes=10, max_nref=4, base_size=40,
+                                   num_objects=1500, seed=61)
+    database, _ = generate_database(db_params)
+    store = StoreConfig(buffer_pages=64).build()
+    records = database.to_records()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    workload = WorkloadParameters(
+        clients=clients, cold_n=0, hot_n=6, set_depth=2, simple_depth=2,
+        hierarchy_depth=3, stochastic_depth=10, max_visits=300)
+    return SimulatedMultiUser(database, store, workload,
+                              transactions_per_client=6).run()
+
+
+@pytest.mark.parametrize("clients", CLIENT_COUNTS)
+def test_clients(benchmark, clients):
+    """Throughput / response time at one client count."""
+    report = benchmark.pedantic(lambda: run_clients(clients),
+                                rounds=1, iterations=1)
+    _REPORTS[clients] = report
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["throughput_txn_per_s"] = round(report.throughput, 3)
+    benchmark.extra_info["mean_response_s"] = round(report.mean_response, 4)
+    benchmark.extra_info["disk_utilisation"] = round(
+        report.disk_utilisation, 3)
+
+
+def test_multiuser_shape(benchmark):
+    """Contention raises response times; throughput holds up."""
+    def collect():
+        for clients in CLIENT_COUNTS:
+            if clients not in _REPORTS:
+                _REPORTS[clients] = run_clients(clients)
+        return dict(_REPORTS)
+
+    reports = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert reports[4].mean_response >= reports[1].mean_response
+    assert reports[4].throughput >= reports[1].throughput * 0.8
+    term_print()
+    for clients in CLIENT_COUNTS:
+        report = reports[clients]
+        term_print(f"  {clients} client(s): {report.throughput:.2f} txn/s, "
+              f"mean response {report.mean_response * 1000:.1f} ms, "
+              f"disk {report.disk_utilisation * 100:.0f}% busy")

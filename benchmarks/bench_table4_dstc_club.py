@@ -1,0 +1,82 @@
+"""Table 4 — Texas/DSTC I/Os measured with DSTC-CluB and with OCB.
+
+Paper (full scale, Sun ELC):
+
+    Benchmark   I/Os before   I/Os after   Gain
+    DSTC-CluB        66            5       13.2
+    OCB              61            7        8.71
+
+Shape contract at the calibrated scale (16 000 parts, depth-4 traversals,
+buffer at the paper's RAM/database ratio — see EXPERIMENTS.md):
+
+* both rows improve strongly after DSTC reorganizes (gain ≫ 1),
+* DSTC-CluB's gain exceeds OCB's (the mimicking benchmark reports a
+  slightly less flattering but consistent picture — the paper's point).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_paper_comparison, term_print
+from repro.experiments import PAPER_TABLE4, render_table4, run_table4
+
+_ROWS = {}
+
+
+def test_table4_row_dstc_club(benchmark):
+    """Row 1: the native OO1-derived DSTC-CluB benchmark."""
+    rows = benchmark.pedantic(
+        lambda: run_table4(num_objects=16000, transactions=20,
+                           buffer_pages=384),
+        rounds=1, iterations=1)
+    club, ocb = rows
+    _ROWS["club"] = club
+    _ROWS["ocb"] = ocb
+
+    assert club.gain > 2.0
+    assert club.ios_after < club.ios_before
+    paper = PAPER_TABLE4["DSTC-CluB"]
+    attach_paper_comparison(
+        benchmark,
+        {"ios_before": club.ios_before, "ios_after": club.ios_after,
+         "gain": club.gain},
+        {"ios_before": paper[0], "ios_after": paper[1], "gain": paper[2]})
+
+
+def test_table4_row_ocb_mimic(benchmark):
+    """Row 2: OCB parameterized per Table 3 to approximate DSTC-CluB."""
+    if "ocb" not in _ROWS:  # Run standalone (e.g. -k filtering).
+        club, ocb = run_table4(num_objects=16000, transactions=20,
+                               buffer_pages=384)
+        _ROWS["club"], _ROWS["ocb"] = club, ocb
+
+    def read_row():
+        return _ROWS["ocb"]
+
+    ocb = benchmark.pedantic(read_row, rounds=1, iterations=1)
+    assert ocb.gain > 1.5
+    assert ocb.ios_after < ocb.ios_before
+    paper = PAPER_TABLE4["OCB"]
+    attach_paper_comparison(
+        benchmark,
+        {"ios_before": ocb.ios_before, "ios_after": ocb.ios_after,
+         "gain": ocb.gain},
+        {"ios_before": paper[0], "ios_after": paper[1], "gain": paper[2]})
+
+
+def test_table4_shape(benchmark):
+    """Cross-row orderings of Table 4 + printed table."""
+    def rows():
+        if "club" not in _ROWS:
+            club, ocb = run_table4(num_objects=16000, transactions=20,
+                                   buffer_pages=384)
+            _ROWS["club"], _ROWS["ocb"] = club, ocb
+        return _ROWS["club"], _ROWS["ocb"]
+
+    club, ocb = benchmark.pedantic(rows, rounds=1, iterations=1)
+    # Paper orderings: CluB gains more than OCB; CluB's "after" is lower.
+    assert club.gain > ocb.gain
+    assert club.ios_after <= ocb.ios_after
+    term_print()
+    term_print(render_table4([club, ocb]))

@@ -1,0 +1,73 @@
+"""Table 5 — Texas/DSTC measured with OCB's *default* mixed workload.
+
+Paper (full scale):
+
+    Benchmark   I/Os before   I/Os after   Gain
+    OCB              31           12        2.58
+
+The paper's headline: with a realistic transaction mix (set-oriented,
+simple, hierarchy and stochastic traversals at 25 % each), DSTC's access
+patterns stop being stereotyped and the gain factor collapses from
+13.2/8.71 to 2.58 — still a clear win, but a much more honest one.
+
+Shape contract at the calibrated scale:
+
+* the gain stays above 1 (DSTC still wins), and
+* it is markedly smaller than either Table 4 gain measured on the same
+  substrate (`bench_table4_dstc_club.py`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_paper_comparison, term_print
+from repro.experiments import (
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    render_table5,
+    run_table4,
+    run_table5,
+)
+
+
+def test_table5_default_workload(benchmark):
+    """The full before/after protocol under the Table 1+2 defaults."""
+    row = benchmark.pedantic(
+        lambda: run_table5(num_objects=8000, transactions=60,
+                           buffer_pages=340),
+        rounds=1, iterations=1)
+
+    assert row.gain > 1.0
+    assert row.ios_after < row.ios_before
+    # The mixed workload's gain must be far below Table 4's stereotyped
+    # gains — compare against the calibrated Table 4 run at the same
+    # buffer/database ratio (measured in its own bench; the paper values
+    # give the reference ratio 13.2 / 2.58 ≈ 5).
+    paper = PAPER_TABLE5["OCB"]
+    attach_paper_comparison(
+        benchmark,
+        {"ios_before": row.ios_before, "ios_after": row.ios_after,
+         "gain": row.gain},
+        {"ios_before": paper[0], "ios_after": paper[1], "gain": paper[2]})
+    benchmark.extra_info["paper_table4_gains"] = [
+        PAPER_TABLE4["DSTC-CluB"][2], PAPER_TABLE4["OCB"][2]]
+    term_print()
+    term_print(render_table5(row))
+
+
+def test_table5_gain_below_table4(benchmark):
+    """The cross-table relationship (the paper's central claim)."""
+    def both():
+        table4 = run_table4(num_objects=8000, transactions=15,
+                            buffer_pages=192)
+        table5 = run_table5(num_objects=4000, transactions=40,
+                            buffer_pages=170)
+        return table4, table5
+
+    table4, table5 = benchmark.pedantic(both, rounds=1, iterations=1)
+    best_table4_gain = max(row.gain for row in table4)
+    assert table5.gain > 1.0
+    assert table5.gain < best_table4_gain
+    benchmark.extra_info["table4_best_gain"] = round(best_table4_gain, 2)
+    benchmark.extra_info["table5_gain"] = round(table5.gain, 2)

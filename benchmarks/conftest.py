@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints a paper-vs-measured comparison through
+``attach_paper_comparison`` so `pytest benchmarks/ --benchmark-only`
+regenerates the paper's tables/figures next to the published numbers
+(recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Mapping
+
+
+def attach_paper_comparison(benchmark, measured: Mapping[str, float],
+                            paper: Mapping[str, float]) -> None:
+    """Record measured-vs-paper pairs in the benchmark's extra info."""
+    for key, value in measured.items():
+        benchmark.extra_info[f"measured_{key}"] = round(float(value), 3)
+    for key, value in paper.items():
+        benchmark.extra_info[f"paper_{key}"] = value
+
+
+#: Rendered paper tables / series collected during the run; flushed into
+#: the terminal summary so they land in ``bench_output.txt`` despite
+#: pytest's output capture.
+_REPORT_LINES = []
+
+
+def term_print(*args, **kwargs) -> None:
+    """Queue output for the end-of-run report (and echo it normally).
+
+    pytest captures stdout at the file-descriptor level, so plain prints
+    from passing tests never reach ``pytest benchmarks/ | tee ...``.  The
+    queued lines are emitted by :func:`pytest_terminal_summary` below.
+    """
+    text = " ".join(str(a) for a in args)
+    _REPORT_LINES.append(text)
+    print(*args, **kwargs)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit the reproduced paper tables after the benchmark summary."""
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced paper tables & figures")
+    for line in _REPORT_LINES:
+        for sub in line.splitlines() or [""]:
+            terminalreporter.write_line(sub)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Compare clustering policies on one workload — OCB's core use case.
+
+The paper: "It is actually interesting to compare clustering policies
+together, instead of comparing them to a non-clustering policy."
+
+The scenario: a single-class database whose objects carry three
+reference types, while the application's hierarchy traversals follow only
+one of them (usage ≠ structure — think part-of hierarchies in a CAD
+model that also stores version and documentation links).  Policies:
+
+* none                 — whatever order the objects were loaded in,
+* static by-class      — type-level clustering (no graph knowledge),
+* static depth-first   — structural clustering (all reference types),
+* DSTC                 — the paper's dynamic, statistics-based policy,
+* DRO                  — the cheaper heat/transition-based policy.
+
+Run:  python examples/clustering_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import DSTCParameters, DSTCPolicy, DROPolicy, NoClustering, StoreConfig
+from repro.clustering.dro import DROParameters
+from repro.clustering.placements import StaticPolicy
+from repro.core.experiment import ClusteringExperiment
+from repro.core.generation import generate_database
+from repro.core.parameters import (
+    DatabaseParameters,
+    ReferenceTypeSpec,
+    WorkloadParameters,
+)
+from repro.reporting.tables import render_table
+
+NUM_OBJECTS = 3000
+TRANSACTIONS = 30
+
+
+def build_database():
+    reference_types = tuple(
+        ReferenceTypeSpec(i, name)
+        for i, name in ((1, "part-of"), (2, "version-of"), (3, "documents")))
+    parameters = DatabaseParameters(
+        num_classes=1, max_nref=3, base_size=40, num_objects=NUM_OBJECTS,
+        num_ref_types=3, reference_types=reference_types,
+        fixed_tref=((1, 2, 3),), fixed_cref=((1, 1, 1),), seed=97)
+    database, _ = generate_database(parameters)
+    return database
+
+
+def run_policy(name, policy_factory):
+    database = build_database()
+    store = StoreConfig(buffer_pages=24).build()
+    records = database.to_records()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    workload = WorkloadParameters(
+        p_set=0.0, p_simple=0.0, p_hierarchy=1.0, p_stochastic=0.0,
+        hierarchy_depth=12, hierarchy_ref_type=1,  # Only "part-of" links.
+        cold_n=5, hot_n=TRANSACTIONS, max_visits=500)
+    experiment = ClusteringExperiment(database, store,
+                                      policy_factory(database), workload,
+                                      label=name)
+    return experiment.run()
+
+
+def main() -> None:
+    policies = {
+        "none": lambda db: NoClustering(),
+        "static by-class": lambda db: StaticPolicy(db.to_records(),
+                                                   strategy="by_class"),
+        "static depth-first": lambda db: StaticPolicy(db.to_records(),
+                                                      strategy="depth_first"),
+        "DSTC": lambda db: DSTCPolicy(DSTCParameters(
+            observation_period=TRANSACTIONS + 5, selection_threshold=1,
+            consolidation_weight=1.0, unit_weight_threshold=1.0)),
+        "DRO": lambda db: DROPolicy(DROParameters(min_heat=1,
+                                                  min_transition=1)),
+    }
+    rows = []
+    for name, factory in policies.items():
+        result = run_policy(name, factory)
+        rows.append([name, result.ios_before, result.ios_after,
+                     result.gain_factor, result.clustering_overhead_ios])
+        print(f"  {name:<20} done: {result.describe()}")
+
+    print()
+    print(render_table(
+        ["policy", "I/Os before", "I/Os after", "gain", "overhead I/Os"],
+        rows, title="Clustering policy comparison "
+                    "(hierarchy workload, usage != structure)"))
+    print()
+    print("Reading: usage-aware policies (DSTC, DRO) cluster only the links")
+    print("the workload crosses; the structural DFS placement also drags in")
+    print("the version/documentation links and wins far less.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reference environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` must use the classic ``setup.py develop`` code path.
+All metadata lives in pyproject.toml; this file only hands control to
+setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — reproduction of OCB, the Object Clustering Benchmark (EDBT '98).
+
+Public API highlights:
+
+* :class:`repro.core.OCBBenchmark` — generate / load / run in three lines,
+* :class:`repro.core.DatabaseParameters` / ``WorkloadParameters`` — the
+  paper's Tables 1 and 2,
+* :class:`repro.clustering.DSTCPolicy` — the clustering technique the
+  paper evaluates,
+* :class:`repro.store.ObjectStore` — the Texas-like persistent store,
+* :mod:`repro.comparators` — OO1, DSTC-CluB, HyperModel and OO7.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ClusteringError,
+    GenerationError,
+    ParameterError,
+    ReproError,
+    StorageError,
+    WorkloadError,
+)
+from repro.rand import DEFAULT_SEED, LewisPayne
+from repro.core import (
+    BenchmarkResult,
+    ClusteringExperiment,
+    DatabaseParameters,
+    ExperimentResult,
+    OCBBenchmark,
+    OCBDatabase,
+    WorkloadParameters,
+    WorkloadRunner,
+    generate_database,
+    preset,
+)
+from repro.clustering import (
+    DROPolicy,
+    DSTCParameters,
+    DSTCPolicy,
+    NoClustering,
+    StaticPolicy,
+)
+from repro.store import CostModel, ObjectStore, StoreConfig
+from repro.stats import Summary, summarize
+from repro.qualitative import assess_policy, render_assessments
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ParameterError",
+    "GenerationError",
+    "StorageError",
+    "ClusteringError",
+    "WorkloadError",
+    "DEFAULT_SEED",
+    "LewisPayne",
+    "OCBBenchmark",
+    "BenchmarkResult",
+    "OCBDatabase",
+    "DatabaseParameters",
+    "WorkloadParameters",
+    "WorkloadRunner",
+    "ClusteringExperiment",
+    "ExperimentResult",
+    "generate_database",
+    "preset",
+    "DSTCPolicy",
+    "DSTCParameters",
+    "DROPolicy",
+    "NoClustering",
+    "StaticPolicy",
+    "ObjectStore",
+    "StoreConfig",
+    "CostModel",
+    "Summary",
+    "summarize",
+    "assess_policy",
+    "render_assessments",
+]

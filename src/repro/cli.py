@@ -1,0 +1,269 @@
+"""``ocb`` — command-line front end for the OCB reproduction.
+
+Subcommands::
+
+    ocb info                      package / experiment overview
+    ocb presets                   list parameter presets
+    ocb generate  [--preset P]    generate a database, print statistics
+    ocb run       [--preset P]    generate + run the cold/warm protocol
+    ocb tables --id {1,2,3}       print the paper's parameter tables
+    ocb fig4                      reproduce Figure 4 (creation time)
+    ocb table4                    reproduce Table 4 (DSTC-CluB vs OCB)
+    ocb table5                    reproduce Table 5 (OCB defaults)
+
+All experiment commands accept ``--scale``-style size flags so the full
+paper-scale runs (slow in pure Python) remain one flag away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.core.benchmark import OCBBenchmark
+from repro.core.generation import generate_database
+from repro.core.presets import (
+    PRESETS,
+    default_database_parameters,
+    default_workload_parameters,
+    dstc_club_database_parameters,
+    preset,
+)
+from repro.experiments import (
+    fig4_series,
+    run_fig4,
+    run_table4,
+    run_table5,
+    render_table4,
+    render_table5,
+)
+from repro.reporting.figures import render_line_chart, render_series_table
+from repro.reporting.tables import render_kv, render_table
+from repro.store.storage import StoreConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ocb",
+        description="OCB, the Object Clustering Benchmark (EDBT '98) — "
+                    "Python reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"ocb {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment overview")
+    sub.add_parser("presets", help="list parameter presets")
+
+    generate = sub.add_parser("generate", help="generate a database")
+    generate.add_argument("--preset", default="default-small",
+                          choices=sorted(PRESETS))
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--validate", action="store_true",
+                          help="run structural validation after generation")
+
+    run = sub.add_parser("run", help="generate and run the workload")
+    run.add_argument("--preset", default="default-small",
+                     choices=sorted(PRESETS))
+    run.add_argument("--buffer-pages", type=int, default=128)
+    run.add_argument("--placement", default="sequential",
+                     choices=("sequential", "by_class", "depth_first",
+                              "breadth_first"))
+
+    tables = sub.add_parser("tables", help="print the paper's parameter tables")
+    tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
+
+    fig4 = sub.add_parser("fig4", help="reproduce Figure 4")
+    fig4.add_argument("--sizes", type=int, nargs="+",
+                      default=[10, 100, 1000, 5000])
+    fig4.add_argument("--classes", type=int, nargs="+", default=[1, 20, 50])
+    fig4.add_argument("--chart", action="store_true",
+                      help="also draw the log-log ASCII chart")
+
+    table4 = sub.add_parser("table4", help="reproduce Table 4")
+    table4.add_argument("--objects", type=int, default=16000)
+    table4.add_argument("--transactions", type=int, default=20)
+    table4.add_argument("--buffer-pages", type=int, default=384)
+
+    table5 = sub.add_parser("table5", help="reproduce Table 5")
+    table5.add_argument("--objects", type=int, default=8000)
+    table5.add_argument("--transactions", type=int, default=60)
+    table5.add_argument("--buffer-pages", type=int, default=340)
+
+    sub.add_parser("qualitative",
+                   help="qualitative evaluation grid for the built-in "
+                        "clustering policies (paper Section 5)")
+    return parser
+
+
+def _cmd_info() -> str:
+    pairs = [
+        ("package", f"repro {__version__}"),
+        ("paper", "OCB: A Generic Benchmark to Evaluate the Performances "
+                  "of OODBs (EDBT '98)"),
+        ("authors", "Darmont, Petit, Schneider"),
+        ("experiments", "fig4, table4, table5 (see DESIGN.md)"),
+        ("presets", ", ".join(sorted(PRESETS))),
+    ]
+    return render_kv(pairs, title="OCB reproduction")
+
+
+def _cmd_presets() -> str:
+    rows = []
+    for name in sorted(PRESETS):
+        db, wl = preset(name)
+        rows.append([name, db.num_classes, db.num_objects,
+                     wl.cold_n, wl.hot_n])
+    return render_table(["preset", "NC", "NO", "COLDN", "HOTN"], rows,
+                        title="Parameter presets")
+
+
+def _cmd_generate(args: argparse.Namespace) -> str:
+    db_params, _ = preset(args.preset)
+    if args.seed is not None:
+        # Dataclasses are frozen; rebuild with the new seed.
+        from dataclasses import replace
+        db_params = replace(db_params, seed=args.seed)
+    database, report = generate_database(db_params, validate=args.validate)
+    stats = database.statistics()
+    pairs = [
+        ("preset", args.preset),
+        ("generation time", f"{report.total_seconds:.3f} s"),
+        ("removed references", report.removed_references),
+        ("objects", stats.num_objects),
+        ("classes", stats.num_classes),
+        ("total bytes", stats.total_bytes),
+        ("avg object bytes", f"{stats.average_object_bytes:.1f}"),
+        ("avg fan-out", f"{stats.average_fanout:.2f}"),
+    ]
+    return render_kv(pairs, title="Database generated")
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    db_params, wl_params = preset(args.preset)
+    bench = OCBBenchmark(db_params, wl_params,
+                         StoreConfig(buffer_pages=args.buffer_pages),
+                         initial_placement=args.placement)
+    result = bench.run()
+    lines = [result.describe(), "",
+             render_table(
+                 ["kind", "n", "objects/txn", "reads/txn", "IOs/txn",
+                  "t_sim/txn (s)"],
+                 result.report.warm.rows(),
+                 title="Warm-run metrics per transaction type",
+                 precision=3)]
+    return "\n".join(lines)
+
+
+def _cmd_tables(args: argparse.Namespace) -> str:
+    if args.id == 1:
+        p = default_database_parameters()
+        rows = [
+            ["NC", "Number of classes in the database", p.num_classes],
+            ["MAXNREF(i)", "Maximum number of references, per class",
+             p.max_nref[0]],
+            ["BASESIZE(i)", "Instances base size, per class", p.base_size[0]],
+            ["NO", "Total number of objects", p.num_objects],
+            ["NREFT", "Number of reference types", p.num_ref_types],
+            ["INFCLASS", "Inferior bound, referenced classes", p.inf_class],
+            ["SUPCLASS", "Superior bound, referenced classes", p.sup_class],
+            ["INFREF", "Inferior bound, referenced objects", p.inf_ref],
+            ["SUPREF", "Superior bound, referenced objects", p.sup_ref],
+            ["DIST1", "Reference types distribution", p.dist1.describe()],
+            ["DIST2", "Class references distribution", p.dist2.describe()],
+            ["DIST3", "Objects in classes distribution", p.dist3.describe()],
+            ["DIST4", "Objects references distribution", p.dist4.describe()],
+        ]
+        return render_table(["Name", "Parameter", "Default value"], rows,
+                            title="Table 1 - OCB database parameters")
+    if args.id == 2:
+        w = default_workload_parameters()
+        rows = [
+            ["SETDEPTH", "Set-oriented Access depth", w.set_depth],
+            ["SIMDEPTH", "Simple Traversal depth", w.simple_depth],
+            ["HIEDEPTH", "Hierarchy Traversal depth", w.hierarchy_depth],
+            ["STODEPTH", "Stochastic Traversal depth", w.stochastic_depth],
+            ["COLDN", "Cold-run transactions", w.cold_n],
+            ["HOTN", "Warm-run transactions", w.hot_n],
+            ["THINK", "Average latency between transactions", w.think_time],
+            ["PSET", "Set Access probability", w.p_set],
+            ["PSIMPLE", "Simple Traversal probability", w.p_simple],
+            ["PHIER", "Hierarchy Traversal probability", w.p_hierarchy],
+            ["PSTOCH", "Stochastic Traversal probability", w.p_stochastic],
+            ["RAND5", "Root object distribution", w.dist5.describe()],
+            ["CLIENTN", "Number of clients", w.clients],
+        ]
+        return render_table(["Name", "Parameter", "Default value"], rows,
+                            title="Table 2 - OCB workload parameters")
+    p = dstc_club_database_parameters()
+    rows = [
+        ["NC", 2], ["MAXNREF", 3], ["BASESIZE", "50 bytes"],
+        ["NO", p.num_objects], ["NREFT", 3],
+        ["INFCLASS", p.inf_class], ["SUPCLASS", p.sup_class],
+        ["INFREF", "PartId - RefZone"], ["SUPREF", "PartId + RefZone"],
+        ["DIST1", p.dist1.describe()], ["DIST2", p.dist2.describe()],
+        ["DIST3", p.dist3.describe()], ["DIST4", p.dist4.describe()],
+    ]
+    return render_table(["Name", "Value"], rows,
+                        title="Table 3 - OCB approximating DSTC-CluB")
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    points = run_fig4(sizes=tuple(args.sizes),
+                      class_counts=tuple(args.classes))
+    series = fig4_series(points)
+    out = [render_series_table(series, x_header="objects",
+                               title="Figure 4 - database creation time (s)")]
+    if args.chart:
+        out.append("")
+        out.append(render_line_chart(series, log_x=True, log_y=True,
+                                     title="Figure 4 (log-log)",
+                                     x_label="objects", y_label="seconds"))
+    return "\n".join(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        print(_cmd_info())
+    elif args.command == "presets":
+        print(_cmd_presets())
+    elif args.command == "generate":
+        print(_cmd_generate(args))
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "tables":
+        print(_cmd_tables(args))
+    elif args.command == "fig4":
+        print(_cmd_fig4(args))
+    elif args.command == "table4":
+        rows = run_table4(num_objects=args.objects,
+                          transactions=args.transactions,
+                          buffer_pages=args.buffer_pages)
+        print(render_table4(rows))
+    elif args.command == "table5":
+        row = run_table5(num_objects=args.objects,
+                         transactions=args.transactions,
+                         buffer_pages=args.buffer_pages)
+        print(render_table5(row))
+    elif args.command == "qualitative":
+        from repro.clustering.base import NoClustering
+        from repro.clustering.dro import DROPolicy
+        from repro.clustering.dstc import DSTCPolicy
+        from repro.qualitative import assess_policy, render_assessments
+        print(render_assessments([assess_policy(NoClustering()),
+                                  assess_policy(DSTCPolicy()),
+                                  assess_policy(DROPolicy())]))
+    else:  # pragma: no cover - argparse enforces choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Clustering policies: DSTC (the paper's subject), DRO, static baselines."""
+
+from repro.clustering.base import ClusteringPolicy, NoClustering, PlacementContext
+from repro.clustering.dro import DROParameters, DROPolicy
+from repro.clustering.dstc import ClusteringUnit, DSTCParameters, DSTCPolicy
+from repro.clustering.placements import (
+    PLACEMENT_STRATEGIES,
+    StaticPolicy,
+    breadth_first_order,
+    by_class_order,
+    depth_first_order,
+    placement_from_name,
+    sequential_order,
+)
+
+__all__ = [
+    "ClusteringPolicy",
+    "NoClustering",
+    "PlacementContext",
+    "DSTCParameters",
+    "DSTCPolicy",
+    "ClusteringUnit",
+    "DROParameters",
+    "DROPolicy",
+    "StaticPolicy",
+    "PLACEMENT_STRATEGIES",
+    "placement_from_name",
+    "sequential_order",
+    "by_class_order",
+    "depth_first_order",
+    "breadth_first_order",
+]

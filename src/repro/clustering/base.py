@@ -1,0 +1,127 @@
+"""Clustering policy interface.
+
+A clustering policy watches the workload (inter-object link crossings — the
+signal DSTC is built on), and, when asked, proposes a new physical order
+for the stored objects.  The policy never touches the store itself: the
+:class:`~repro.core.experiment.ClusteringExperiment` (or a workload runner
+in auto mode) feeds it access events and applies its proposals, so the same
+policy can be evaluated against any store configuration — exactly the
+"compare clustering policies on the same basis" goal of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Mapping, Optional, Sequence
+
+from repro.store.costs import DEFAULT_PAGE_SIZE
+
+__all__ = ["PlacementContext", "ClusteringPolicy"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A proposed physical layout.
+
+    ``order`` is the full permutation of stored oids.  ``aligned_groups``
+    (optional) lists clustering units that the store should start on page
+    boundaries — DSTC's phase 5 materialises each unit in its own page(s),
+    which is what makes "I/Os per traversal ≈ units touched" hold.
+    Grouped oids must form a prefix of ``order``.
+    """
+
+    order: List[int]
+    aligned_groups: Optional[List[List[int]]] = None
+
+
+@dataclass(frozen=True)
+class PlacementContext:
+    """What a policy may know about the physical layer when proposing.
+
+    ``sizes`` maps each object id to its on-disk byte size; ``page_size``
+    bounds clustering units (DSTC sizes units to pages).
+    """
+
+    sizes: Mapping[int, int] = field(default_factory=dict)
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def size_of(self, oid: int, default: int = 64) -> int:
+        """Byte size of *oid*, with a conservative default."""
+        return self.sizes.get(oid, default)
+
+
+class ClusteringPolicy(ABC):
+    """Base class for clustering policies (DSTC, DRO, static placements...)."""
+
+    #: Short name used in reports and CLI flags.
+    name: ClassVar[str] = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Observation hooks (called by the workload layer)
+    # ------------------------------------------------------------------ #
+
+    def observe_access(self, source: Optional[int], target: int,
+                       ref_type: Optional[int] = None) -> None:
+        """Record one object access.
+
+        ``source`` is the object whose reference was crossed to reach
+        ``target`` (``None`` for root accesses); ``ref_type`` is the OCB
+        reference type when known.  The default implementation ignores the
+        event (static policies need no statistics).
+        """
+
+    def on_transaction_end(self) -> None:
+        """Signal that one transaction completed (observation windows)."""
+
+    # ------------------------------------------------------------------ #
+    # Reorganization
+    # ------------------------------------------------------------------ #
+
+    def wants_reorganization(self) -> bool:
+        """Whether the policy has gathered enough evidence to recluster."""
+        return False
+
+    @abstractmethod
+    def propose_order(self, current_order: Sequence[int],
+                      context: PlacementContext) -> Optional[List[int]]:
+        """Return a new physical order, or ``None`` to keep the current one.
+
+        The result must be a permutation of *current_order*.
+        """
+
+    def propose_placement(self, current_order: Sequence[int],
+                          context: PlacementContext) -> Optional[Placement]:
+        """Like :meth:`propose_order`, optionally with aligned groups.
+
+        The default wraps :meth:`propose_order` without alignment;
+        policies with page-sized clustering units (DSTC) override this.
+        """
+        order = self.propose_order(current_order, context)
+        if order is None:
+            return None
+        return Placement(order=order)
+
+    def reset_observations(self) -> None:
+        """Drop all gathered statistics (fresh benchmark phase)."""
+
+    # ------------------------------------------------------------------ #
+    # Description
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoClustering(ClusteringPolicy):
+    """The do-nothing baseline: keep objects wherever they were loaded."""
+
+    name = "none"
+
+    def propose_order(self, current_order: Sequence[int],
+                      context: PlacementContext) -> Optional[List[int]]:
+        return None

@@ -1,0 +1,471 @@
+"""DSTC — the Dynamic, Statistical and Tunable Clustering technique.
+
+Reimplementation of the policy the paper evaluates (Bullat & Schneider,
+ECOOP '96; Bullat's 1996 thesis), structured around the five phases the
+paper enumerates in Section 4.1:
+
+1. **Observation** — during an *observation period* (a fixed number of
+   transactions), every inter-object link crossing is counted in a
+   transient **observation matrix**.
+2. **Selection** — at the end of the period, only statistically significant
+   pairs (count ≥ ``selection_threshold``, the technique's *Tfa*) survive.
+3. **Consolidation** — surviving counts are merged into the persistent
+   **consolidated matrix** with an aging weight ``consolidation_weight``
+   (*w*): ``consolidated = w · old + observed``.
+4. **Dynamic cluster reorganization** — consolidated links above
+   ``unit_weight_threshold`` (*Tfc*) are sorted by weight and greedily
+   merged into **clustering units**, each bounded by ``max_unit_bytes``
+   (one disk page by default, as in DSTC).
+5. **Physical organization** — units are laid out contiguously at the
+   front of the store (heaviest unit first, members ordered by a
+   strongest-link-first walk); unclustered objects keep their relative
+   order.  The store charges the move as clustering I/O overhead.
+
+Every threshold is a tunable — the "T" in DSTC — exposed through
+:class:`DSTCParameters`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.clustering.base import ClusteringPolicy, Placement, PlacementContext
+from repro.errors import ParameterError
+
+__all__ = ["DSTCParameters", "ClusteringUnit", "DSTCPolicy"]
+
+
+@dataclass(frozen=True)
+class DSTCParameters:
+    """Tuning knobs of DSTC (defaults follow the published prototype)."""
+
+    #: Transactions per observation period (phase 1 window).
+    observation_period: int = 100
+    #: *Tfa* — minimum link-crossing count for a pair to survive selection.
+    selection_threshold: int = 2
+    #: *w* — aging weight applied to old consolidated values on update.
+    consolidation_weight: float = 0.5
+    #: *Tfc* — minimum consolidated weight for a link to seed/extend a unit.
+    unit_weight_threshold: float = 2.0
+    #: Unit byte budget; ``None`` means one disk page (DSTC's choice).
+    max_unit_bytes: Optional[int] = None
+    #: Optional cap on the number of units built per reorganization.
+    max_units: Optional[int] = None
+    #: Reorganize automatically after this many transactions (``None`` =
+    #: only when the experiment asks, i.e. "when the system is idle").
+    trigger_period: Optional[int] = None
+    #: Unit construction strategy: ``"greedy"`` merges the heaviest links
+    #: first under the page budget (DSTC's per-starter unit growth);
+    #: ``"component-walk"`` lays whole co-usage components out along a
+    #: strongest-link walk before chunking (useful when co-usage
+    #: neighbourhoods are disjoint).
+    unit_strategy: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.observation_period < 1:
+            raise ParameterError("observation_period must be >= 1, got "
+                                 f"{self.observation_period}")
+        if self.selection_threshold < 1:
+            raise ParameterError("selection_threshold must be >= 1, got "
+                                 f"{self.selection_threshold}")
+        if not 0.0 <= self.consolidation_weight <= 1.0:
+            raise ParameterError("consolidation_weight must be in [0, 1], "
+                                 f"got {self.consolidation_weight}")
+        if self.unit_weight_threshold < 0.0:
+            raise ParameterError("unit_weight_threshold must be >= 0, got "
+                                 f"{self.unit_weight_threshold}")
+        if self.max_unit_bytes is not None and self.max_unit_bytes < 1:
+            raise ParameterError("max_unit_bytes must be >= 1, got "
+                                 f"{self.max_unit_bytes}")
+        if self.max_units is not None and self.max_units < 1:
+            raise ParameterError(f"max_units must be >= 1, got {self.max_units}")
+        if self.trigger_period is not None and self.trigger_period < 1:
+            raise ParameterError("trigger_period must be >= 1, got "
+                                 f"{self.trigger_period}")
+        if self.unit_strategy not in ("greedy", "component-walk"):
+            raise ParameterError(
+                "unit_strategy must be 'greedy' or 'component-walk', got "
+                f"{self.unit_strategy!r}")
+
+
+@dataclass
+class ClusteringUnit:
+    """One clustering unit: an ordered run of objects placed contiguously."""
+
+    members: List[int]
+    weight: float
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class DSTCPolicy(ClusteringPolicy):
+    """The DSTC dynamic clustering policy."""
+
+    name = "dstc"
+
+    def __init__(self, parameters: Optional[DSTCParameters] = None) -> None:
+        self.parameters = parameters or DSTCParameters()
+        self._observation: Dict[Tuple[int, int], int] = {}
+        self._consolidated: Dict[Tuple[int, int], float] = {}
+        self._transactions = 0
+        self._since_reorganization = 0
+        self.observation_flushes = 0
+        self.reorganizations = 0
+
+    # ------------------------------------------------------------------ #
+    # Phase 1 — observation
+    # ------------------------------------------------------------------ #
+
+    def observe_access(self, source: Optional[int], target: int,
+                       ref_type: Optional[int] = None) -> None:
+        if source is None or source == target:
+            return
+        key = (source, target)
+        self._observation[key] = self._observation.get(key, 0) + 1
+
+    def on_transaction_end(self) -> None:
+        self._transactions += 1
+        self._since_reorganization += 1
+        if self._transactions % self.parameters.observation_period == 0:
+            self._select_and_consolidate()
+
+    # ------------------------------------------------------------------ #
+    # Phases 2 & 3 — selection and consolidation
+    # ------------------------------------------------------------------ #
+
+    def _select_and_consolidate(self) -> None:
+        """End-of-period bookkeeping: filter, then merge with aging."""
+        threshold = self.parameters.selection_threshold
+        weight = self.parameters.consolidation_weight
+        consolidated = self._consolidated
+        for pair, count in self._observation.items():
+            if count >= threshold:
+                old = consolidated.get(pair, 0.0)
+                consolidated[pair] = weight * old + count
+        self._observation.clear()
+        self.observation_flushes += 1
+
+    def flush_observations(self) -> None:
+        """Force an end-of-period selection/consolidation (idle trigger)."""
+        if self._observation:
+            self._select_and_consolidate()
+
+    # ------------------------------------------------------------------ #
+    # Phase 4 — building clustering units
+    # ------------------------------------------------------------------ #
+
+    def build_units(self, context: PlacementContext) -> List[ClusteringUnit]:
+        """Unit construction from the consolidated matrix.
+
+        The consolidated link graph is first decomposed into connected
+        components (the co-usage neighbourhoods — a traversal's whole
+        path lands in one component).  Each component is ordered by a
+        strongest-link-first walk, then chopped into page-bounded
+        clustering units.  Because :meth:`propose_order` lays units out
+        in this exact sequence, a component ends up *contiguous* on disk
+        — which is what lets a replayed traversal fault in only
+        ``unique_bytes / page_size`` pages.
+        """
+        params = self.parameters
+        budget = params.max_unit_bytes or context.page_size
+
+        # Symmetrise: co-location is direction-free.
+        weights: Dict[Tuple[int, int], float] = {}
+        for (a, b), value in self._consolidated.items():
+            if value < params.unit_weight_threshold:
+                continue
+            key = (a, b) if a < b else (b, a)
+            weights[key] = weights.get(key, 0.0) + value
+        if not weights:
+            return []
+
+        if params.unit_strategy == "greedy":
+            units = self._greedy_units(weights, budget, context)
+        else:
+            units = self._component_walk_units(weights, budget, context)
+        if params.max_units is not None:
+            units = units[:params.max_units]
+        return units
+
+    def _greedy_units(self, weights: Dict[Tuple[int, int], float],
+                      budget: int, context: PlacementContext
+                      ) -> List[ClusteringUnit]:
+        """Merge the heaviest co-usage links first, under the page budget.
+
+        This mirrors DSTC's unit growth: the most significant links seed
+        units, which absorb neighbours until a unit would no longer fit
+        in a page.  Members are then ordered by a strongest-link walk so
+        intra-unit layout follows the hot path.
+        """
+        edges = [(value, a, b) for (a, b), value in weights.items()]
+        edges.sort(key=lambda edge: (-edge[0], edge[1], edge[2]))
+
+        parent: Dict[int, int] = {}
+        size: Dict[int, int] = {}
+        gain: Dict[int, float] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # Path compression.
+                parent[x], x = root, parent[x]
+            return root
+
+        def ensure(x: int) -> None:
+            if x not in parent:
+                parent[x] = x
+                size[x] = context.size_of(x)
+                gain[x] = 0.0
+
+        for value, a, b in edges:
+            ensure(a)
+            ensure(b)
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                gain[ra] += value
+                continue
+            if size[ra] + size[rb] > budget:
+                continue
+            parent[rb] = ra
+            size[ra] += size[rb]
+            gain[ra] += gain[rb] + value
+
+        groups: Dict[int, List[int]] = {}
+        for node in parent:
+            groups.setdefault(find(node), []).append(node)
+
+        adjacency: Dict[int, List[Tuple[float, int]]] = {}
+        for (a, b), value in weights.items():
+            adjacency.setdefault(a, []).append((value, b))
+            adjacency.setdefault(b, []).append((value, a))
+
+        units = []
+        for root, members in groups.items():
+            if len(members) < 2:
+                continue
+            ordered = self._strongest_walk(sorted(members), adjacency)
+            units.append(ClusteringUnit(members=ordered, weight=gain[root]))
+        units.sort(key=lambda u: (-u.weight, u.members[0]))
+        return self._chain_units(units, weights)
+
+    @staticmethod
+    def _chain_units(units: List[ClusteringUnit],
+                     weights: Dict[Tuple[int, int], float]
+                     ) -> List[ClusteringUnit]:
+        """Order units so strongly linked units are physically adjacent.
+
+        Several page-bounded units serve the same access pattern (one
+        traversal splits into many units).  Since the store packs
+        consecutive units into the same pages when they fit, chaining by
+        inter-unit link weight keeps each pattern's units together —
+        without it, pages mix units of unrelated patterns and the
+        clustering gain evaporates.
+        """
+        if len(units) <= 2:
+            return units
+        unit_of: Dict[int, int] = {}
+        for index, unit in enumerate(units):
+            for member in unit.members:
+                unit_of[member] = index
+        inter: Dict[int, Dict[int, float]] = {}
+        for (a, b), value in weights.items():
+            ua, ub = unit_of.get(a), unit_of.get(b)
+            if ua is None or ub is None or ua == ub:
+                continue
+            inter.setdefault(ua, {})[ub] = inter.get(ua, {}).get(ub, 0.0) + value
+            inter.setdefault(ub, {})[ua] = inter.get(ub, {}).get(ua, 0.0) + value
+
+        remaining = set(range(len(units)))
+        chained: List[ClusteringUnit] = []
+        current: Optional[int] = None
+        while remaining:
+            if current is None or not inter.get(current):
+                # Start (or restart) from the heaviest unplaced unit.
+                current = min(remaining,
+                              key=lambda i: (-units[i].weight,
+                                             units[i].members[0]))
+            else:
+                candidates = [(v, i) for i, v in inter[current].items()
+                              if i in remaining]
+                if candidates:
+                    candidates.sort(key=lambda edge: (-edge[0], edge[1]))
+                    current = candidates[0][1]
+                else:
+                    current = min(remaining,
+                                  key=lambda i: (-units[i].weight,
+                                                 units[i].members[0]))
+            remaining.discard(current)
+            chained.append(units[current])
+        return chained
+
+    def _component_walk_units(self, weights: Dict[Tuple[int, int], float],
+                              budget: int, context: PlacementContext
+                              ) -> List[ClusteringUnit]:
+        """Whole-component walks chunked into page-sized units."""
+        adjacency: Dict[int, List[Tuple[float, int]]] = {}
+        for (a, b), value in weights.items():
+            adjacency.setdefault(a, []).append((value, b))
+            adjacency.setdefault(b, []).append((value, a))
+
+        components = self._connected_components(adjacency)
+        component_rank = []
+        for members in components:
+            total = sum(value for (a, b), value in weights.items()
+                        if a in members)
+            component_rank.append((total, sorted(members)))
+        component_rank.sort(key=lambda item: (-item[0], item[1][0]))
+
+        units: List[ClusteringUnit] = []
+        for total, members in component_rank:
+            if len(members) < 2:
+                continue
+            ordered = self._strongest_walk(members, adjacency)
+            units.extend(self._chunk(ordered, total, budget, context))
+        return units
+
+    @staticmethod
+    def _connected_components(
+            adjacency: Dict[int, List[Tuple[float, int]]]
+    ) -> List[Set[int]]:
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in adjacency:
+            if start in seen:
+                continue
+            component = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for _value, neighbour in adjacency[node]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        stack.append(neighbour)
+            seen |= component
+            components.append(component)
+        return components
+
+    @staticmethod
+    def _strongest_walk(members: List[int],
+                        adjacency: Dict[int, List[Tuple[float, int]]]
+                        ) -> List[int]:
+        """Prim-style walk: always extend with the strongest reachable link."""
+        member_set = set(members)
+        start = max(members,
+                    key=lambda m: (sum(v for v, _ in adjacency.get(m, ())), -m))
+        ordered = [start]
+        placed = {start}
+        heap: List[Tuple[float, int, int]] = []
+        tie = 0
+        for value, neighbour in adjacency.get(start, ()):
+            tie += 1
+            heapq.heappush(heap, (-value, tie, neighbour))
+        while heap and len(ordered) < len(member_set):
+            _negv, _tie, node = heapq.heappop(heap)
+            if node in placed or node not in member_set:
+                continue
+            placed.add(node)
+            ordered.append(node)
+            for value, neighbour in adjacency.get(node, ()):
+                if neighbour not in placed:
+                    tie += 1
+                    heapq.heappush(heap, (-value, tie, neighbour))
+        for node in sorted(member_set - placed):  # Defensive; unreachable.
+            ordered.append(node)
+        return ordered
+
+    def _chunk(self, ordered: List[int], component_weight: float,
+               budget: int, context: PlacementContext
+               ) -> List[ClusteringUnit]:
+        """Split a component walk into page-bounded clustering units."""
+        units: List[ClusteringUnit] = []
+        current: List[int] = []
+        current_bytes = 0
+        for oid in ordered:
+            size = context.size_of(oid)
+            if current and current_bytes + size > budget:
+                units.append(ClusteringUnit(members=current,
+                                            weight=component_weight))
+                current = []
+                current_bytes = 0
+            current.append(oid)
+            current_bytes += size
+        if current:
+            units.append(ClusteringUnit(members=current,
+                                        weight=component_weight))
+        return units
+
+    # ------------------------------------------------------------------ #
+    # Phase 5 — physical order proposal
+    # ------------------------------------------------------------------ #
+
+    def wants_reorganization(self) -> bool:
+        trigger = self.parameters.trigger_period
+        if trigger is None:
+            return False
+        return (self._since_reorganization >= trigger
+                and bool(self._consolidated or self._observation))
+
+    def propose_order(self, current_order: Sequence[int],
+                      context: PlacementContext) -> Optional[List[int]]:
+        placement = self.propose_placement(current_order, context)
+        return placement.order if placement is not None else None
+
+    def propose_placement(self, current_order: Sequence[int],
+                          context: PlacementContext) -> Optional[Placement]:
+        self.flush_observations()
+        units = self.build_units(context)
+        if not units:
+            return None
+        present = set(current_order)
+        groups: List[List[int]] = []
+        clustered_set: Set[int] = set()
+        for unit in units:
+            members = [oid for oid in unit.members
+                       if oid in present and oid not in clustered_set]
+            if not members:
+                continue
+            groups.append(members)
+            clustered_set.update(members)
+        if not groups:
+            return None
+        clustered = [oid for group in groups for oid in group]
+        remainder = [oid for oid in current_order if oid not in clustered_set]
+        self.reorganizations += 1
+        self._since_reorganization = 0
+        return Placement(order=clustered + remainder, aligned_groups=groups)
+
+    # ------------------------------------------------------------------ #
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def observation_size(self) -> int:
+        """Pairs currently in the transient observation matrix."""
+        return len(self._observation)
+
+    @property
+    def consolidated_size(self) -> int:
+        """Pairs currently in the persistent consolidated matrix."""
+        return len(self._consolidated)
+
+    def consolidated_weight(self, source: int, target: int) -> float:
+        """Consolidated statistic for a directed pair (0.0 if absent)."""
+        return self._consolidated.get((source, target), 0.0)
+
+    def reset_observations(self) -> None:
+        self._observation.clear()
+        self._consolidated.clear()
+        self._transactions = 0
+        self._since_reorganization = 0
+
+    def describe(self) -> str:
+        p = self.parameters
+        return (f"DSTC(period={p.observation_period}, Tfa={p.selection_threshold}, "
+                f"w={p.consolidation_weight:g}, Tfc={p.unit_weight_threshold:g})")
+
+    def __repr__(self) -> str:
+        return f"DSTCPolicy({self.parameters!r})"

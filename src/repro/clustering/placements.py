@@ -1,0 +1,138 @@
+"""Static placement strategies.
+
+These compute an object order from the *structure* of the database (not
+from usage statistics) and serve two purposes:
+
+* as **initial placements** when a generated database is bulk-loaded, and
+* as **baseline clustering policies** (wrapped in :class:`StaticPolicy`)
+  against which dynamic policies like DSTC are compared — the classic
+  static strategies studied by Tsangaris & Naughton (SIGMOD '92), which the
+  paper cites as the origin of its traversal workload.
+
+All functions take a mapping ``oid -> StoredObject`` and return a
+deterministic permutation of the oids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.clustering.base import ClusteringPolicy, PlacementContext
+from repro.errors import ClusteringError
+from repro.store.serializer import StoredObject
+
+__all__ = [
+    "sequential_order",
+    "by_class_order",
+    "depth_first_order",
+    "breadth_first_order",
+    "PLACEMENT_STRATEGIES",
+    "placement_from_name",
+    "StaticPolicy",
+]
+
+Records = Mapping[int, StoredObject]
+
+
+def sequential_order(records: Records,
+                     roots: Optional[Sequence[int]] = None) -> List[int]:
+    """Creation (oid) order — what a store does with no clustering at all."""
+    return sorted(records)
+
+
+def by_class_order(records: Records,
+                   roots: Optional[Sequence[int]] = None) -> List[int]:
+    """Group objects of the same class together (type-level clustering)."""
+    return sorted(records, key=lambda oid: (records[oid].cid, oid))
+
+
+def depth_first_order(records: Records,
+                      roots: Optional[Sequence[int]] = None) -> List[int]:
+    """DFS over forward references — Tsangaris/Naughton's depth-first
+    placement, a good static match for navigational workloads."""
+    return _graph_order(records, roots, depth_first=True)
+
+
+def breadth_first_order(records: Records,
+                        roots: Optional[Sequence[int]] = None) -> List[int]:
+    """BFS over forward references — matches set-oriented access patterns."""
+    return _graph_order(records, roots, depth_first=False)
+
+
+def _graph_order(records: Records, roots: Optional[Sequence[int]],
+                 depth_first: bool) -> List[int]:
+    if roots is None:
+        roots = sorted(records)
+    order: List[int] = []
+    seen: Dict[int, bool] = {}
+    for root in roots:
+        if root not in records or root in seen:
+            continue
+        frontier: deque = deque([root])
+        seen[root] = True
+        while frontier:
+            oid = frontier.pop() if depth_first else frontier.popleft()
+            order.append(oid)
+            record = records[oid]
+            targets = [t for t in record.refs if t is not None]
+            if depth_first:
+                # Reverse so the first reference is explored first.
+                targets = targets[::-1]
+            for target in targets:
+                if target in records and target not in seen:
+                    seen[target] = True
+                    frontier.append(target)
+    # Objects unreachable from any root keep their oid order at the end.
+    for oid in sorted(records):
+        if oid not in seen:
+            order.append(oid)
+    return order
+
+
+#: Name -> placement function registry (CLI / presets).
+PLACEMENT_STRATEGIES: Dict[str, Callable[..., List[int]]] = {
+    "sequential": sequential_order,
+    "by_class": by_class_order,
+    "depth_first": depth_first_order,
+    "breadth_first": breadth_first_order,
+}
+
+
+def placement_from_name(name: str) -> Callable[..., List[int]]:
+    """Look up a placement strategy by name."""
+    try:
+        return PLACEMENT_STRATEGIES[name.strip().lower()]
+    except KeyError:
+        raise ClusteringError(
+            f"unknown placement {name!r}; choose from "
+            f"{sorted(PLACEMENT_STRATEGIES)}") from None
+
+
+class StaticPolicy(ClusteringPolicy):
+    """A clustering policy that always proposes one static placement.
+
+    Useful as a baseline in policy comparisons: it ignores the workload and
+    reorganizes the database according to pure structure.
+    """
+
+    name = "static"
+
+    def __init__(self, records: Records, strategy: str = "depth_first",
+                 roots: Optional[Sequence[int]] = None) -> None:
+        self._records = dict(records)
+        self._strategy_name = strategy
+        self._strategy = placement_from_name(strategy)
+        self._roots = list(roots) if roots is not None else None
+        self.name = f"static-{strategy}"
+
+    def propose_order(self, current_order: Sequence[int],
+                      context: PlacementContext) -> Optional[List[int]]:
+        order = self._strategy(self._records, self._roots)
+        present = set(current_order)
+        filtered = [oid for oid in order if oid in present]
+        missing = [oid for oid in current_order if oid not in set(filtered)]
+        return filtered + sorted(missing)
+
+    def describe(self) -> str:
+        return f"static placement ({self._strategy_name})"

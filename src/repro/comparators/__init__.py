@@ -1,0 +1,56 @@
+"""Comparator benchmarks: OO1, DSTC-CluB, HyperModel, OO7.
+
+These are the benchmarks of the paper's Related Work (Section 2) and
+validation (Section 4), implemented over the same Texas-like store so that
+OCB's genericity claims ("OCB can be tuned to mimic the behavior of
+another benchmark") can be tested head to head.
+"""
+
+from repro.comparators.dstc_club import DSTCClubBenchmark, DSTCClubResult
+from repro.comparators.hypermodel import (
+    HYPERMODEL_OPERATIONS,
+    HyperModelBenchmark,
+    HyperModelDatabase,
+    HyperModelParameters,
+    NodeAttributes,
+    OperationReport,
+    build_hypermodel_store,
+)
+from repro.comparators.oo1 import (
+    OO1Benchmark,
+    OO1Database,
+    OO1Parameters,
+    OO1Report,
+    OO1RunResult,
+    build_oo1_store,
+)
+from repro.comparators.oo7 import (
+    OO7Benchmark,
+    OO7Database,
+    OO7Parameters,
+    OO7RunResult,
+    build_oo7_store,
+)
+
+__all__ = [
+    "OO1Benchmark",
+    "OO1Database",
+    "OO1Parameters",
+    "OO1Report",
+    "OO1RunResult",
+    "build_oo1_store",
+    "DSTCClubBenchmark",
+    "DSTCClubResult",
+    "HyperModelBenchmark",
+    "HyperModelDatabase",
+    "HyperModelParameters",
+    "NodeAttributes",
+    "OperationReport",
+    "HYPERMODEL_OPERATIONS",
+    "build_hypermodel_store",
+    "OO7Benchmark",
+    "OO7Database",
+    "OO7Parameters",
+    "OO7RunResult",
+    "build_oo7_store",
+]

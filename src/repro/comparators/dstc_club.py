@@ -1,0 +1,155 @@
+"""DSTC-CluB — the OO1-derived clustering benchmark of Bullat & Schneider.
+
+The paper validates OCB against *DSTC-CluB*, "derived from OO1", whose
+single metric is the number of transaction I/Os **before** and **after**
+DSTC reorganizes the database (Table 4: 66 -> 5 I/Os, gain 13.2).
+
+Protocol, reconstructed from the paper's description:
+
+1. build the OO1 database and bulk-load it in creation order;
+2. run ``transactions`` OO1 depth-7 traversals while the clustering policy
+   observes; the mean page reads per traversal is the **before** figure;
+3. let the policy reorganize the store (clustering I/O overhead recorded
+   separately);
+4. drop the caches and replay the *same* traversal roots; the mean is the
+   **after** figure; ``gain = before / after``.
+
+The replay uses the same RNG seed, so before/after are paired — the same
+requirement OCB's own experiment (:mod:`repro.core.experiment`) enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.clustering.base import ClusteringPolicy, PlacementContext
+from repro.clustering.dstc import DSTCParameters, DSTCPolicy
+from repro.comparators.oo1 import (
+    OO1Benchmark,
+    OO1Database,
+    OO1Parameters,
+    OO1RunResult,
+)
+from repro.errors import WorkloadError
+from repro.rand.lewis_payne import LewisPayne
+from repro.store.storage import ObjectStore, ReorganizationStats, StoreConfig
+
+__all__ = ["DSTCClubResult", "DSTCClubBenchmark"]
+
+_STREAM_TRAVERSALS = 0x0C1B_0001
+
+
+@dataclass
+class DSTCClubResult:
+    """Before/after I/O figures, matching Table 4's columns."""
+
+    label: str
+    before_runs: List[OO1RunResult]
+    after_runs: List[OO1RunResult]
+    reorganization: Optional[ReorganizationStats]
+
+    @property
+    def ios_before(self) -> float:
+        """Mean page reads per traversal before reclustering."""
+        if not self.before_runs:
+            return 0.0
+        return sum(r.io_reads for r in self.before_runs) / len(self.before_runs)
+
+    @property
+    def ios_after(self) -> float:
+        """Mean page reads per traversal after reclustering."""
+        if not self.after_runs:
+            return self.ios_before
+        return sum(r.io_reads for r in self.after_runs) / len(self.after_runs)
+
+    @property
+    def gain_factor(self) -> float:
+        """The Table 4 "Gain Factor": before / after."""
+        after = self.ios_after
+        if after <= 0:
+            return float("inf") if self.ios_before > 0 else 1.0
+        return self.ios_before / after
+
+    @property
+    def clustering_overhead_ios(self) -> int:
+        """Pages read + written by the physical reorganization."""
+        return self.reorganization.total_ios if self.reorganization else 0
+
+    def describe(self) -> str:
+        """One line matching the paper's table columns."""
+        return (f"{self.label}: {self.ios_before:.1f} I/Os before, "
+                f"{self.ios_after:.1f} after, gain {self.gain_factor:.2f}x")
+
+
+class DSTCClubBenchmark:
+    """The DSTC-CluB before/after traversal protocol."""
+
+    def __init__(self, parameters: Optional[OO1Parameters] = None,
+                 store_config: Optional[StoreConfig] = None,
+                 policy: Optional[ClusteringPolicy] = None,
+                 transactions: int = 50,
+                 warmup: int = 5) -> None:
+        if transactions < 1:
+            raise WorkloadError(f"transactions must be >= 1, got {transactions}")
+        self.parameters = parameters or OO1Parameters()
+        self.store_config = store_config or StoreConfig()
+        self.policy = policy if policy is not None else DSTCPolicy(
+            DSTCParameters(observation_period=max(1, transactions // 5)))
+        self.transactions = transactions
+        self.warmup = warmup
+        self.database: Optional[OO1Database] = None
+        self.store: Optional[ObjectStore] = None
+
+    def setup(self) -> Tuple[OO1Database, ObjectStore]:
+        """Build and bulk-load the OO1 database."""
+        self.database = OO1Database(self.parameters)
+        records = self.database.build()
+        self.store = self.store_config.build()
+        self.store.bulk_load(records.values(), order=sorted(records))
+        self.store.reset_stats()
+        return self.database, self.store
+
+    def run(self, label: str = "DSTC-CluB") -> DSTCClubResult:
+        """Execute the full before/reorganize/after protocol."""
+        if self.database is None or self.store is None:
+            self.setup()
+        assert self.database is not None and self.store is not None
+
+        before = self._run_traversals(observe=True)
+        reorganization = self._reorganize()
+        after: List[OO1RunResult] = []
+        if reorganization is not None:
+            after = self._run_traversals(observe=False)
+        return DSTCClubResult(label=label,
+                              before_runs=before,
+                              after_runs=after,
+                              reorganization=reorganization)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _run_traversals(self, observe: bool) -> List[OO1RunResult]:
+        assert self.database is not None and self.store is not None
+        self.store.drop_caches()
+        self.store.reset_stats()
+        rng = LewisPayne(self.parameters.seed).spawn(_STREAM_TRAVERSALS)
+        bench = OO1Benchmark(self.database, self.store,
+                             policy=self.policy if observe else None,
+                             rng=rng)
+        for _ in range(self.warmup):  # Fill the cache (OCB's cold-run idea).
+            bench.traversal_run()
+        runs = [bench.traversal_run() for _ in range(self.transactions)]
+        return runs
+
+    def _reorganize(self) -> Optional[ReorganizationStats]:
+        assert self.database is not None and self.store is not None
+        context = PlacementContext(sizes=self.database.sizes(),
+                                   page_size=self.store.page_size)
+        placement = self.policy.propose_placement(self.store.current_order(),
+                                                  context)
+        if placement is None:
+            return None
+        return self.store.reorganize(placement.order,
+                                     aligned_groups=placement.aligned_groups)

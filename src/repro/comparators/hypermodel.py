@@ -1,0 +1,349 @@
+"""The HyperModel (Tektronix) benchmark — Section 2.2 of the OCB paper.
+
+An extended hypertext model: ``Node`` objects arranged in
+
+* a **parent/children aggregation** hierarchy (fan-out 5, ``levels``
+  levels — the classic instance has 5 levels and (5^5 - 1)/4 = 781 or
+  3906 nodes at 6 levels),
+* a **partOf/parts** second hierarchy partitioning the same nodes, and
+* **refTo/refFrom** one-to-one association links between random nodes.
+
+Each node carries the attribute set the benchmark's range queries use
+(``uniqueId``, ``hundred``, ``thousand``, ``million``); attribute *values*
+live in an in-memory attribute table (a catalog/index), while the store
+holds the node payload — range predicates are evaluated on the index and
+every qualifying node is then **read through the store**, so the I/O
+behaviour matches an indexed OODB scan.
+
+The seven operation families are implemented with the benchmark's
+setup / cold (50 inputs) / warm (same inputs) protocol:
+
+nameLookup, rangeLookup, groupLookup, refLookup (reverse), seqScan,
+closureTraversal, and editing (an update, committed after the batch).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.errors import ParameterError, WorkloadError
+from repro.rand.lewis_payne import DEFAULT_SEED, LewisPayne
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore, StoreConfig
+
+__all__ = [
+    "HyperModelParameters",
+    "NodeAttributes",
+    "HyperModelDatabase",
+    "OperationReport",
+    "HyperModelBenchmark",
+    "HYPERMODEL_OPERATIONS",
+]
+
+NODE_CLASS = 1
+
+#: Reference slot layout of a Node record.
+PARENT_SLOTS = 5        # children (aggregation), slots 0-4
+PART_SLOT = 5           # partOf parent, slot 5
+REF_TO_SLOT = 6         # refTo association, slot 6
+_NODE_PAYLOAD = 40      # uniqueId/hundred/thousand/million + text.
+
+_STREAM_BUILD = 0x0112_0001
+_STREAM_WORKLOAD = 0x0112_0002
+
+
+@dataclass(frozen=True)
+class HyperModelParameters:
+    """Size and protocol knobs."""
+
+    levels: int = 5          # Aggregation hierarchy depth (fan-out 5).
+    fan_out: int = 5
+    inputs: int = 50         # The benchmark's 50 precomputed inputs.
+    range_width: int = 10    # Width of the rangeLookup predicate (hundred).
+    closure_depth: int = 3   # Depth of closureTraversal.
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ParameterError(f"levels must be >= 1, got {self.levels}")
+        if self.fan_out < 1:
+            raise ParameterError(f"fan_out must be >= 1, got {self.fan_out}")
+        if self.inputs < 1:
+            raise ParameterError(f"inputs must be >= 1, got {self.inputs}")
+        if not 1 <= self.range_width <= 100:
+            raise ParameterError("range_width must be in [1, 100], got "
+                                 f"{self.range_width}")
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in a complete fan-out^levels hierarchy."""
+        total = 0
+        width = 1
+        for _ in range(self.levels):
+            total += width
+            width *= self.fan_out
+        return total
+
+
+@dataclass(frozen=True)
+class NodeAttributes:
+    """The HyperModel attribute set used by predicates."""
+
+    unique_id: int
+    hundred: int
+    thousand: int
+    million: int
+
+
+class HyperModelDatabase:
+    """Node hierarchy + partOf partition + refTo links."""
+
+    def __init__(self, parameters: Optional[HyperModelParameters] = None) -> None:
+        self.parameters = parameters or HyperModelParameters()
+        self.records: Dict[int, StoredObject] = {}
+        self.attributes: Dict[int, NodeAttributes] = {}
+        self.node_oids: List[int] = []
+        self.root_oid: Optional[int] = None
+        self._built = False
+
+    def build(self) -> Dict[int, StoredObject]:
+        """Create the hierarchy, the partOf partition and refTo links."""
+        if self._built:
+            return self.records
+        p = self.parameters
+        rng = LewisPayne(p.seed).spawn(_STREAM_BUILD)
+
+        n = p.num_nodes
+        self.node_oids = list(range(1, n + 1))
+        self.root_oid = 1
+
+        refs: Dict[int, List[Optional[int]]] = {
+            oid: [None] * (PARENT_SLOTS + 2) for oid in self.node_oids}
+        back: Dict[int, List[Tuple[int, int]]] = {
+            oid: [] for oid in self.node_oids}
+
+        # Aggregation hierarchy: node k's children are 5k-3 .. 5k+1 in a
+        # complete quinary tree laid out level by level (1-based oids).
+        for oid in self.node_oids:
+            for slot in range(p.fan_out):
+                child = (oid - 1) * p.fan_out + 2 + slot
+                if child <= n and slot < PARENT_SLOTS:
+                    refs[oid][slot] = child
+                    back[child].append((oid, slot))
+
+        # partOf: a second partition — each non-root node points at a
+        # random node of the previous "stripe" (locality across the id
+        # space), forming a forest over the same population.
+        for oid in self.node_oids[1:]:
+            anchor = rng.randint(max(1, oid - 25), max(1, oid - 1))
+            refs[oid][PART_SLOT] = anchor
+            back[anchor].append((oid, PART_SLOT))
+
+        # refTo: one association to a uniformly random distinct node.
+        for oid in self.node_oids:
+            target = oid
+            while target == oid:
+                target = rng.randint(1, n)
+            refs[oid][REF_TO_SLOT] = target
+            back[target].append((oid, REF_TO_SLOT))
+
+        # Attributes (uniqueId permutation + modular attributes).
+        permutation = list(self.node_oids)
+        rng.shuffle(permutation)
+        for oid, unique in zip(self.node_oids, permutation):
+            self.attributes[oid] = NodeAttributes(
+                unique_id=unique,
+                hundred=unique % 100,
+                thousand=unique % 1000,
+                million=unique % 1_000_000)
+
+        for oid in self.node_oids:
+            self.records[oid] = StoredObject(
+                oid=oid, cid=NODE_CLASS,
+                refs=tuple(refs[oid]),
+                back_refs=tuple(back[oid]),
+                filler=_NODE_PAYLOAD)
+        self._built = True
+        return self.records
+
+    def nodes_with_hundred_in(self, low: int, high: int) -> List[int]:
+        """Index lookup for the rangeLookup predicate."""
+        return [oid for oid, attrs in self.attributes.items()
+                if low <= attrs.hundred <= high]
+
+    def sizes(self) -> Dict[int, int]:
+        """oid -> serialized size."""
+        return {oid: record.size for oid, record in self.records.items()}
+
+
+@dataclass
+class OperationReport:
+    """Cold/warm metrics of one HyperModel operation."""
+
+    operation: str
+    cold_seconds: float
+    warm_seconds: float
+    cold_reads: int
+    warm_reads: int
+    cold_sim_seconds: float
+    warm_sim_seconds: float
+    inputs: int
+
+    @property
+    def warm_speedup(self) -> float:
+        """cold / warm wall time — the benchmark's caching-effect metric."""
+        if self.warm_seconds <= 0:
+            return float("inf") if self.cold_seconds > 0 else 1.0
+        return self.cold_seconds / self.warm_seconds
+
+
+class HyperModelBenchmark:
+    """The 7 operation families with the setup/cold/warm protocol."""
+
+    def __init__(self, database: HyperModelDatabase, store: ObjectStore,
+                 policy: Optional[ClusteringPolicy] = None) -> None:
+        if store.object_count == 0:
+            raise WorkloadError("bulk-load the HyperModel database first")
+        self.database = database
+        self.store = store
+        self.policy = policy or NoClustering()
+        self._rng = LewisPayne(
+            database.parameters.seed).spawn(_STREAM_WORKLOAD)
+
+    # ------------------------------------------------------------------ #
+    # Protocol driver
+    # ------------------------------------------------------------------ #
+
+    def run_operation(self, name: str) -> OperationReport:
+        """Setup (untimed), cold run over 50 inputs, warm run repeats them."""
+        try:
+            prepare, body, is_update = HYPERMODEL_OPERATIONS[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown HyperModel operation {name!r}; choose from "
+                f"{sorted(HYPERMODEL_OPERATIONS)}") from None
+        inputs = prepare(self)
+
+        cold = self._timed_pass(body, inputs, is_update)
+        warm = self._timed_pass(body, inputs, is_update)
+        return OperationReport(
+            operation=name,
+            cold_seconds=cold[0], warm_seconds=warm[0],
+            cold_reads=cold[1], warm_reads=warm[1],
+            cold_sim_seconds=cold[2], warm_sim_seconds=warm[2],
+            inputs=len(inputs))
+
+    def run_all(self) -> Dict[str, OperationReport]:
+        """Every operation family once."""
+        return {name: self.run_operation(name)
+                for name in sorted(HYPERMODEL_OPERATIONS)}
+
+    def _timed_pass(self, body: Callable, inputs: Sequence[int],
+                    is_update: bool) -> Tuple[float, int, float]:
+        before = self.store.snapshot()
+        start = time.perf_counter()
+        for value in inputs:
+            body(self, value)
+        if is_update:
+            self.store.flush()  # One commit for all 50 operations.
+        wall = time.perf_counter() - start
+        delta = self.store.snapshot() - before
+        self.policy.on_transaction_end()
+        return (wall, delta.io_reads, delta.sim_time)
+
+    # ------------------------------------------------------------------ #
+    # Input preparation (the untimed "setup" step)
+    # ------------------------------------------------------------------ #
+
+    def _random_nodes(self) -> List[int]:
+        n = self.database.parameters.inputs
+        return [self._rng.randint(1, len(self.database.node_oids))
+                for _ in range(n)]
+
+    def _random_hundreds(self) -> List[int]:
+        n = self.database.parameters.inputs
+        width = self.database.parameters.range_width
+        return [self._rng.randint(0, 100 - width) for _ in range(n)]
+
+    # ------------------------------------------------------------------ #
+    # Operation bodies
+    # ------------------------------------------------------------------ #
+
+    def _access(self, oid: int, source: Optional[int] = None) -> StoredObject:
+        record = self.store.read_object(oid)
+        self.policy.observe_access(source, oid, None)
+        return record
+
+    def _name_lookup(self, oid: int) -> None:
+        self._access(oid)
+
+    def _range_lookup(self, low: int) -> None:
+        width = self.database.parameters.range_width
+        for oid in self.database.nodes_with_hundred_in(low, low + width - 1):
+            self._access(oid)
+
+    def _group_lookup(self, oid: int) -> None:
+        record = self._access(oid)
+        for target in record.refs:
+            if target is not None:
+                self._access(target, source=oid)
+
+    def _ref_lookup(self, oid: int) -> None:
+        record = self._access(oid)
+        for source, _slot in record.back_refs:
+            self._access(source, source=oid)
+
+    def _sequential_scan(self, _input: int) -> None:
+        for oid in self.database.node_oids:
+            self._access(oid)
+
+    def _closure_traversal(self, oid: int) -> None:
+        depth = self.database.parameters.closure_depth
+
+        def visit(record: StoredObject, level: int) -> None:
+            if level >= depth:
+                return
+            for slot in range(PARENT_SLOTS):
+                target = record.refs[slot]
+                if target is not None:
+                    visit(self._access(target, source=record.oid), level + 1)
+
+        visit(self._access(oid), 0)
+
+    def _editing(self, oid: int) -> None:
+        record = self._access(oid)
+        self.store.write_object(record)  # Same-size payload update.
+
+
+#: name -> (prepare_inputs, body, is_update)
+HYPERMODEL_OPERATIONS: Dict[str, Tuple[Callable, Callable, bool]] = {
+    "nameLookup": (HyperModelBenchmark._random_nodes,
+                   HyperModelBenchmark._name_lookup, False),
+    "rangeLookup": (HyperModelBenchmark._random_hundreds,
+                    HyperModelBenchmark._range_lookup, False),
+    "groupLookup": (HyperModelBenchmark._random_nodes,
+                    HyperModelBenchmark._group_lookup, False),
+    "refLookup": (HyperModelBenchmark._random_nodes,
+                  HyperModelBenchmark._ref_lookup, False),
+    "seqScan": (lambda self: [0],
+                HyperModelBenchmark._sequential_scan, False),
+    "closureTraversal": (HyperModelBenchmark._random_nodes,
+                         HyperModelBenchmark._closure_traversal, False),
+    "editing": (HyperModelBenchmark._random_nodes,
+                HyperModelBenchmark._editing, True),
+}
+
+
+def build_hypermodel_store(parameters: Optional[HyperModelParameters] = None,
+                           store_config: Optional[StoreConfig] = None
+                           ) -> Tuple[HyperModelDatabase, ObjectStore]:
+    """Convenience: build and bulk-load a HyperModel database."""
+    database = HyperModelDatabase(parameters)
+    records = database.build()
+    store = (store_config or StoreConfig()).build()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    return database, store

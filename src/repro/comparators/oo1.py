@@ -1,0 +1,353 @@
+"""OO1 — the Cattell "Objects Operations 1" engineering benchmark.
+
+Full implementation of the benchmark described in Section 2.1 of the OCB
+paper, running against the same Texas-like object store:
+
+* **Database** — ``Part`` objects (class 1) each connected, through three
+  ``Connection`` objects (class 2), to three other parts.  Connections
+  carry ``From`` and ``To`` references.  Locality of reference: with
+  probability 0.9 the target part id lies within ``[id - RefZone,
+  id + RefZone]``, otherwise it is uniform over all parts.
+* **Workload** — three operations, each run (by default) 10 times with
+  response time measured per run:
+
+  - *Lookup*: access 1000 randomly selected parts;
+  - *Traversal*: from a random root, depth-first through the ``Connect``
+    and ``To`` references up to seven hops (3280 parts, duplicates
+    included); also a *reverse traversal* that swaps ``To`` and ``From``
+    by walking back references;
+  - *Insert*: add 100 parts (plus their connections) and commit.
+
+The implementation reports both wall-clock and simulated response times
+plus page-I/O counts, and feeds every link crossing to an optional
+clustering policy so DSTC can observe OO1 workloads (the substrate that
+DSTC-CluB builds on).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.errors import ParameterError, WorkloadError
+from repro.rand.lewis_payne import DEFAULT_SEED, LewisPayne
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore, StoreConfig
+
+__all__ = ["OO1Parameters", "OO1Database", "OO1RunResult", "OO1Benchmark",
+           "PART_CLASS", "CONNECTION_CLASS"]
+
+PART_CLASS = 1
+CONNECTION_CLASS = 2
+
+#: OO1 field payloads (type strings, coordinates, dates), in bytes.
+_PART_PAYLOAD = 30
+_CONNECTION_PAYLOAD = 24
+
+_STREAM_BUILD = 0x001_0001
+_STREAM_WORKLOAD = 0x001_0002
+
+
+@dataclass(frozen=True)
+class OO1Parameters:
+    """Knobs of the OO1 database and workload."""
+
+    num_parts: int = 20000
+    connections_per_part: int = 3
+    ref_zone: Optional[int] = None          # None -> 1% of num_parts.
+    locality_probability: float = 0.9
+    lookups_per_run: int = 1000
+    traversal_depth: int = 7
+    inserts_per_run: int = 100
+    runs: int = 10
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.num_parts < 2:
+            raise ParameterError(f"num_parts must be >= 2, got {self.num_parts}")
+        if self.connections_per_part < 1:
+            raise ParameterError("connections_per_part must be >= 1, got "
+                                 f"{self.connections_per_part}")
+        if not 0.0 <= self.locality_probability <= 1.0:
+            raise ParameterError("locality_probability must be in [0, 1]")
+        for label in ("lookups_per_run", "traversal_depth",
+                      "inserts_per_run", "runs"):
+            if getattr(self, label) < 1:
+                raise ParameterError(f"{label} must be >= 1")
+
+    @property
+    def effective_ref_zone(self) -> int:
+        """RefZone, defaulting to 1 % of the part population."""
+        if self.ref_zone is not None:
+            return self.ref_zone
+        return max(1, self.num_parts // 100)
+
+
+class OO1Database:
+    """The Part/Connection graph, built per the OO1 generation recipe."""
+
+    def __init__(self, parameters: Optional[OO1Parameters] = None) -> None:
+        self.parameters = parameters or OO1Parameters()
+        self.part_oids: List[int] = []
+        self.connection_oids: List[int] = []
+        self.records: Dict[int, StoredObject] = {}
+        self._next_oid = 1
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> Dict[int, StoredObject]:
+        """Create all parts, then wire each to three random targets."""
+        if self._built:
+            return self.records
+        p = self.parameters
+        rng = LewisPayne(p.seed).spawn(_STREAM_BUILD)
+
+        # 1. Create all Part objects and store them in a dictionary.
+        for _ in range(p.num_parts):
+            oid = self._allocate()
+            self.part_oids.append(oid)
+            self.records[oid] = StoredObject(
+                oid=oid, cid=PART_CLASS,
+                refs=(None,) * p.connections_per_part,
+                filler=_PART_PAYLOAD)
+
+        # 2. For each part, choose three targets and create connections.
+        back_refs: Dict[int, List[Tuple[int, int]]] = {
+            oid: [] for oid in self.records}
+        part_refs: Dict[int, List[Optional[int]]] = {
+            oid: [None] * p.connections_per_part for oid in self.part_oids}
+        for index_in_parts, source in enumerate(self.part_oids):
+            for slot in range(p.connections_per_part):
+                target = self._draw_target(rng, index_in_parts)
+                conn_oid = self._allocate()
+                self.connection_oids.append(conn_oid)
+                # Connection.refs = (To part, From part).
+                self.records[conn_oid] = StoredObject(
+                    oid=conn_oid, cid=CONNECTION_CLASS,
+                    refs=(target, source),
+                    filler=_CONNECTION_PAYLOAD)
+                back_refs.setdefault(conn_oid, [])
+                back_refs[target].append((conn_oid, 0))
+                back_refs[source].append((conn_oid, 1))
+                part_refs[source][slot] = conn_oid
+                back_refs[conn_oid].append((source, slot))
+
+        for oid in self.part_oids:
+            self.records[oid] = self.records[oid].with_refs(
+                tuple(part_refs[oid]))
+        for oid, pairs in back_refs.items():
+            self.records[oid] = self.records[oid].with_back_refs(tuple(pairs))
+        self._built = True
+        return self.records
+
+    def _draw_target(self, rng: LewisPayne, source_index: int) -> int:
+        """OO1's reference-zone rule on the part id space."""
+        p = self.parameters
+        zone = p.effective_ref_zone
+        if rng.random() < p.locality_probability:
+            low = max(0, source_index - zone)
+            high = min(p.num_parts - 1, source_index + zone)
+        else:
+            low, high = 0, p.num_parts - 1
+        return self.part_oids[rng.randint(low, high)]
+
+    def _allocate(self) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def sizes(self) -> Dict[int, int]:
+        """oid -> serialized size (placement context input)."""
+        return {oid: record.size for oid, record in self.records.items()}
+
+
+@dataclass
+class OO1RunResult:
+    """Metrics of one timed OO1 run."""
+
+    operation: str
+    objects_accessed: int
+    io_reads: int
+    io_writes: int
+    sim_seconds: float
+    wall_seconds: float
+
+
+@dataclass
+class OO1Report:
+    """All runs of one operation."""
+
+    operation: str
+    runs: List[OO1RunResult] = field(default_factory=list)
+
+    @property
+    def mean_reads(self) -> float:
+        """Mean page reads per run."""
+        if not self.runs:
+            return 0.0
+        return sum(r.io_reads for r in self.runs) / len(self.runs)
+
+    @property
+    def mean_sim_seconds(self) -> float:
+        """Mean simulated response time per run."""
+        if not self.runs:
+            return 0.0
+        return sum(r.sim_seconds for r in self.runs) / len(self.runs)
+
+
+class OO1Benchmark:
+    """Lookup / traversal / insert, measured per run."""
+
+    def __init__(self, database: OO1Database, store: ObjectStore,
+                 policy: Optional[ClusteringPolicy] = None,
+                 rng: Optional[LewisPayne] = None) -> None:
+        if store.object_count == 0:
+            raise WorkloadError("bulk-load the OO1 database before running")
+        self.database = database
+        self.store = store
+        self.policy = policy or NoClustering()
+        self._rng = rng or LewisPayne(
+            database.parameters.seed).spawn(_STREAM_WORKLOAD)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def lookup_run(self) -> OO1RunResult:
+        """Access ``lookups_per_run`` randomly selected parts."""
+        return self._timed("lookup", self._do_lookup)
+
+    def traversal_run(self, reverse: bool = False) -> OO1RunResult:
+        """Depth-first traversal from a random root (optionally reversed)."""
+        name = "reverse-traversal" if reverse else "traversal"
+        return self._timed(name, lambda: self._do_traversal(reverse))
+
+    def insert_run(self) -> OO1RunResult:
+        """Insert ``inserts_per_run`` parts plus connections; commit."""
+        return self._timed("insert", self._do_insert)
+
+    def run_all(self) -> Dict[str, OO1Report]:
+        """The full OO1 protocol: each operation, ``runs`` times."""
+        reports = {name: OO1Report(name) for name in
+                   ("lookup", "traversal", "reverse-traversal", "insert")}
+        for _ in range(self.database.parameters.runs):
+            reports["lookup"].runs.append(self.lookup_run())
+            reports["traversal"].runs.append(self.traversal_run())
+            reports["reverse-traversal"].runs.append(
+                self.traversal_run(reverse=True))
+            reports["insert"].runs.append(self.insert_run())
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _timed(self, name, body) -> OO1RunResult:
+        before = self.store.snapshot()
+        wall_start = time.perf_counter()
+        accessed = body()
+        wall = time.perf_counter() - wall_start
+        delta = self.store.snapshot() - before
+        self.policy.on_transaction_end()
+        return OO1RunResult(operation=name,
+                            objects_accessed=accessed,
+                            io_reads=delta.io_reads,
+                            io_writes=delta.io_writes,
+                            sim_seconds=delta.sim_time,
+                            wall_seconds=wall)
+
+    def _access(self, oid: int, source: Optional[int] = None) -> StoredObject:
+        record = self.store.read_object(oid)
+        self.policy.observe_access(source, oid, None)
+        return record
+
+    def _do_lookup(self) -> int:
+        p = self.database.parameters
+        count = 0
+        for _ in range(p.lookups_per_run):
+            oid = self._rng.choice(self.database.part_oids)
+            self._access(oid)
+            count += 1
+        return count
+
+    def _do_traversal(self, reverse: bool) -> int:
+        p = self.database.parameters
+        root = self._rng.choice(self.database.part_oids)
+        visited = 0
+
+        def visit_part(part: StoredObject, depth: int) -> None:
+            nonlocal visited
+            visited += 1
+            if depth >= p.traversal_depth:
+                return
+            if not reverse:
+                # Part -> Connection (Connect) -> To part.
+                for conn_oid in part.refs:
+                    if conn_oid is None:
+                        continue
+                    connection = self._access(conn_oid, source=part.oid)
+                    to_part = connection.refs[0]
+                    if to_part is None:
+                        continue
+                    child = self._access(to_part, source=conn_oid)
+                    visit_part(child, depth + 1)
+            else:
+                # Swap To and From: follow connections pointing AT us.
+                for src_oid, slot in part.back_refs:
+                    if slot != 0:  # Only connections whose To is this part.
+                        continue
+                    connection = self._access(src_oid, source=part.oid)
+                    from_part = connection.refs[1]
+                    if from_part is None:
+                        continue
+                    child = self._access(from_part, source=src_oid)
+                    visit_part(child, depth + 1)
+
+        visit_part(self._access(root), 0)
+        return visited
+
+    def _do_insert(self) -> int:
+        p = self.database.parameters
+        created = 0
+        new_parts: List[int] = []
+        for _ in range(p.inserts_per_run):
+            part_oid = self.database._allocate()
+            refs: List[Optional[int]] = []
+            conn_records: List[StoredObject] = []
+            for _ in range(p.connections_per_part):
+                target = self._rng.choice(self.database.part_oids)
+                conn_oid = self.database._allocate()
+                conn_records.append(StoredObject(
+                    oid=conn_oid, cid=CONNECTION_CLASS,
+                    refs=(target, part_oid), filler=_CONNECTION_PAYLOAD))
+                refs.append(conn_oid)
+            part = StoredObject(oid=part_oid, cid=PART_CLASS,
+                                refs=tuple(refs), filler=_PART_PAYLOAD)
+            self.store.insert_object(part)
+            self.database.records[part_oid] = part
+            self.database.part_oids.append(part_oid)
+            for conn in conn_records:
+                self.store.insert_object(conn)
+                self.database.records[conn.oid] = conn
+                self.database.connection_oids.append(conn.oid)
+            new_parts.append(part_oid)
+            created += 1 + p.connections_per_part
+        self.store.flush()  # OO1: "Commit the changes."
+        return created
+
+
+def build_oo1_store(parameters: Optional[OO1Parameters] = None,
+                    store_config: Optional[StoreConfig] = None
+                    ) -> Tuple[OO1Database, ObjectStore]:
+    """Convenience: build the database and bulk-load it into a store."""
+    database = OO1Database(parameters)
+    records = database.build()
+    store = (store_config or StoreConfig()).build()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    return database, store

@@ -1,0 +1,456 @@
+"""OO7 (Carey, DeWitt & Naughton) — Section 2.3 of the OCB paper.
+
+A faithful, small-configuration OO7 implementation over the shared store:
+
+* **Database** — per module: a 7-level *assembly hierarchy* (fan-out 3;
+  complex assemblies above, base assemblies at the leaves), a pool of
+  *composite parts* (each with a private graph of *atomic parts* wired by
+  *connections*, plus a *document*), and base assemblies referencing
+  ``comp_per_assm`` shared composite parts.  Class ids follow the design
+  hierarchy (module / complex assembly / base assembly / composite part /
+  atomic part / connection / document / manual).
+* **Workload** — the three published groups:
+
+  - *Traversals*: T1 (full DFS touching every atomic part graph),
+    T2 (T1 with an update on one atomic part per composite — the "a"
+    variant), T6 (DFS touching only the root atomic part per composite);
+  - *Queries*: Q1 (lookup of random atomic parts by id), Q2/Q3 (range on
+    the atomic-part build date, 1 % / 10 %), Q4 (document lookups), Q7
+    (scan of all atomic parts);
+  - *Structural modifications*: SM1 (insert composite parts),
+    SM2 (delete them again).
+
+OO7's small configuration defaults are scaled down by default so a unit
+run stays fast; the standard "small" shape (729 base assemblies, 500
+composite parts, 20 atomic parts each) is one constructor call away.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.errors import ParameterError, WorkloadError
+from repro.rand.lewis_payne import DEFAULT_SEED, LewisPayne
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore, StoreConfig
+
+__all__ = ["OO7Parameters", "OO7Database", "OO7RunResult", "OO7Benchmark"]
+
+MODULE_CLASS = 1
+COMPLEX_ASSEMBLY_CLASS = 2
+BASE_ASSEMBLY_CLASS = 3
+COMPOSITE_PART_CLASS = 4
+ATOMIC_PART_CLASS = 5
+CONNECTION_CLASS = 6
+DOCUMENT_CLASS = 7
+MANUAL_CLASS = 8
+
+_PAYLOADS = {
+    MODULE_CLASS: 60,
+    COMPLEX_ASSEMBLY_CLASS: 40,
+    BASE_ASSEMBLY_CLASS: 40,
+    COMPOSITE_PART_CLASS: 60,
+    ATOMIC_PART_CLASS: 28,
+    CONNECTION_CLASS: 16,
+    DOCUMENT_CLASS: 200,
+    MANUAL_CLASS: 400,
+}
+
+_STREAM_BUILD = 0x0007_0001
+_STREAM_WORKLOAD = 0x0007_0002
+
+
+@dataclass(frozen=True)
+class OO7Parameters:
+    """Shape of the OO7 database (defaults: a fast reduced-small config)."""
+
+    num_modules: int = 1
+    assembly_levels: int = 4          # OO7 small: 7.
+    assembly_fan_out: int = 3
+    comp_per_module: int = 50         # OO7 small: 500.
+    comp_per_assm: int = 3
+    atomic_per_comp: int = 20
+    connections_per_atomic: int = 3
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        for label in ("num_modules", "assembly_levels", "assembly_fan_out",
+                      "comp_per_module", "comp_per_assm", "atomic_per_comp",
+                      "connections_per_atomic"):
+            if getattr(self, label) < 1:
+                raise ParameterError(f"{label} must be >= 1")
+
+    @classmethod
+    def small(cls, seed: int = DEFAULT_SEED) -> "OO7Parameters":
+        """The published OO7 "small" configuration."""
+        return cls(num_modules=1, assembly_levels=7, assembly_fan_out=3,
+                   comp_per_module=500, comp_per_assm=3, atomic_per_comp=20,
+                   connections_per_atomic=3, seed=seed)
+
+
+class OO7Database:
+    """Builder for the OO7 object graph."""
+
+    def __init__(self, parameters: Optional[OO7Parameters] = None) -> None:
+        self.parameters = parameters or OO7Parameters()
+        self.records: Dict[int, StoredObject] = {}
+        self.module_oids: List[int] = []
+        self.base_assembly_oids: List[int] = []
+        self.composite_oids: List[int] = []
+        self.atomic_oids: List[int] = []
+        self.document_oids: List[int] = []
+        #: atomic part oid -> build date (Q2/Q3 predicate attribute).
+        self.build_dates: Dict[int, int] = {}
+        #: composite oid -> root atomic part oid (T6 entry point).
+        self.root_atomic: Dict[int, int] = {}
+        self._next_oid = 1
+        self._built = False
+        self._refs: Dict[int, List[Optional[int]]] = {}
+        self._back: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> Dict[int, StoredObject]:
+        """Create modules, assembly trees, composite parts and documents."""
+        if self._built:
+            return self.records
+        p = self.parameters
+        rng = LewisPayne(p.seed).spawn(_STREAM_BUILD)
+
+        for _ in range(p.num_modules):
+            composites = [self._new_composite(rng)
+                          for _ in range(p.comp_per_module)]
+            self.composite_oids.extend(composites)
+            module = self._new(MODULE_CLASS, slots=1)
+            self.module_oids.append(module)
+            root_assembly = self._build_assembly(rng, 1, composites)
+            self._link(module, 0, root_assembly)
+
+        self._finalise()
+        self._built = True
+        return self.records
+
+    def _build_assembly(self, rng: LewisPayne, level: int,
+                        composites: Sequence[int]) -> int:
+        p = self.parameters
+        if level == p.assembly_levels:  # Base assembly.
+            oid = self._new(BASE_ASSEMBLY_CLASS, slots=p.comp_per_assm)
+            self.base_assembly_oids.append(oid)
+            for slot in range(p.comp_per_assm):
+                target = composites[rng.randint(0, len(composites) - 1)]
+                self._link(oid, slot, target)
+            return oid
+        oid = self._new(COMPLEX_ASSEMBLY_CLASS, slots=p.assembly_fan_out)
+        for slot in range(p.assembly_fan_out):
+            child = self._build_assembly(rng, level + 1, composites)
+            self._link(oid, slot, child)
+        return oid
+
+    def _new_composite(self, rng: LewisPayne) -> int:
+        p = self.parameters
+        atomic = [self._new(ATOMIC_PART_CLASS,
+                            slots=p.connections_per_atomic)
+                  for _ in range(p.atomic_per_comp)]
+        self.atomic_oids.extend(atomic)
+        for oid in atomic:
+            self.build_dates[oid] = rng.randint(0, 99_999)
+        # Connection ring + chords, as in OO7: each atomic part connects
+        # to `connections_per_atomic` others of the same composite.
+        for index, source in enumerate(atomic):
+            for c in range(p.connections_per_atomic):
+                if c == 0:
+                    target = atomic[(index + 1) % len(atomic)]
+                else:
+                    target = atomic[rng.randint(0, len(atomic) - 1)]
+                conn = self._new(CONNECTION_CLASS, slots=1)
+                self._link(source, c, conn)
+                self._link(conn, 0, target)
+
+        document = self._new(DOCUMENT_CLASS, slots=0)
+        self.document_oids.append(document)
+        composite = self._new(COMPOSITE_PART_CLASS, slots=2)
+        self._link(composite, 0, atomic[0])  # Root atomic part.
+        self._link(composite, 1, document)
+        self.root_atomic[composite] = atomic[0]
+        return composite
+
+    def _new(self, cid: int, slots: int) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        self._refs[oid] = [None] * slots
+        self._back[oid] = []
+        self.records[oid] = StoredObject(oid=oid, cid=cid,
+                                         refs=(None,) * slots,
+                                         filler=_PAYLOADS[cid])
+        return oid
+
+    def _link(self, source: int, slot: int, target: int) -> None:
+        self._refs[source][slot] = target
+        self._back[target].append((source, slot))
+
+    def _finalise(self) -> None:
+        for oid, record in list(self.records.items()):
+            self.records[oid] = StoredObject(
+                oid=oid, cid=record.cid,
+                refs=tuple(self._refs[oid]),
+                back_refs=tuple(self._back[oid]),
+                filler=record.filler)
+
+    def sizes(self) -> Dict[int, int]:
+        """oid -> serialized size."""
+        return {oid: record.size for oid, record in self.records.items()}
+
+    def atomic_parts_with_date_in(self, low: int, high: int) -> List[int]:
+        """Index lookup for Q2/Q3 build-date ranges."""
+        return [oid for oid, date in self.build_dates.items()
+                if low <= date <= high]
+
+
+@dataclass
+class OO7RunResult:
+    """Metrics of one OO7 operation run."""
+
+    operation: str
+    objects_accessed: int
+    io_reads: int
+    io_writes: int
+    sim_seconds: float
+    wall_seconds: float
+
+
+class OO7Benchmark:
+    """Traversals, queries and structural modifications."""
+
+    def __init__(self, database: OO7Database, store: ObjectStore,
+                 policy: Optional[ClusteringPolicy] = None) -> None:
+        if store.object_count == 0:
+            raise WorkloadError("bulk-load the OO7 database before running")
+        self.database = database
+        self.store = store
+        self.policy = policy or NoClustering()
+        self._rng = LewisPayne(
+            database.parameters.seed).spawn(_STREAM_WORKLOAD)
+
+    # ------------------------------------------------------------------ #
+    # Public operations
+    # ------------------------------------------------------------------ #
+
+    def t1_traversal(self) -> OO7RunResult:
+        """Full DFS: assemblies -> composites -> entire atomic graphs."""
+        return self._timed("T1", lambda: self._traverse(full=True,
+                                                        update=False))
+
+    def t2_traversal(self) -> OO7RunResult:
+        """T1 plus one atomic-part update per composite (variant a)."""
+        return self._timed("T2", lambda: self._traverse(full=True,
+                                                        update=True))
+
+    def t6_traversal(self) -> OO7RunResult:
+        """DFS touching only each composite's root atomic part."""
+        return self._timed("T6", lambda: self._traverse(full=False,
+                                                        update=False))
+
+    def q1_lookup(self, count: int = 10) -> OO7RunResult:
+        """Fetch *count* random atomic parts by id."""
+        def body() -> int:
+            for _ in range(count):
+                oid = self._rng.choice(self.database.atomic_oids)
+                self._access(oid)
+            return count
+        return self._timed("Q1", body)
+
+    def q2_range(self) -> OO7RunResult:
+        """Atomic parts in the most recent 1 % of build dates."""
+        return self._timed("Q2", lambda: self._range_query(0.01))
+
+    def q3_range(self) -> OO7RunResult:
+        """Atomic parts in the most recent 10 % of build dates."""
+        return self._timed("Q3", lambda: self._range_query(0.10))
+
+    def q4_documents(self, count: int = 10) -> OO7RunResult:
+        """Random document lookups (join with composite parts)."""
+        def body() -> int:
+            accessed = 0
+            for _ in range(count):
+                composite = self._rng.choice(self.database.composite_oids)
+                record = self._access(composite)
+                document = record.refs[1]
+                if document is not None:
+                    self._access(document, source=composite)
+                    accessed += 1
+            return count + accessed
+        return self._timed("Q4", body)
+
+    def q7_scan(self) -> OO7RunResult:
+        """Scan every atomic part."""
+        def body() -> int:
+            for oid in self.database.atomic_oids:
+                self._access(oid)
+            return len(self.database.atomic_oids)
+        return self._timed("Q7", body)
+
+    def sm1_insert(self, count: int = 5) -> OO7RunResult:
+        """Insert *count* new composite parts (with atomic graphs)."""
+        def body() -> int:
+            created = 0
+            for _ in range(count):
+                composite = self.database._new_composite(self._rng)
+                self.database._finalise()
+                # Insert the composite and everything it reaches that is
+                # not yet stored.
+                for oid in sorted(self.database.records):
+                    if oid not in self.store:
+                        self.store.insert_object(self.database.records[oid])
+                        created += 1
+                self.database.composite_oids.append(composite)
+            self.store.flush()
+            return created
+        return self._timed("SM1", body)
+
+    def sm2_delete(self, count: int = 5) -> OO7RunResult:
+        """Delete up to *count* *unreferenced* composite parts.
+
+        Only composites no assembly points at (i.e. the ones SM1 created)
+        are removed, so the assembly hierarchy never dangles.
+        """
+        def body() -> int:
+            removed = 0
+            candidates = []
+            for composite in reversed(self.database.composite_oids):
+                if len(candidates) >= count:
+                    break
+                record = self.store.read_object(composite)
+                if not record.back_refs:
+                    candidates.append(composite)
+            for composite in candidates:
+                self.database.composite_oids.remove(composite)
+                record = self.store.read_object(composite)
+                # Delete the composite, its document and its atomic graph.
+                doomed = {composite}
+                frontier = [t for t in record.refs if t is not None]
+                while frontier:
+                    oid = frontier.pop()
+                    if oid in doomed or oid not in self.store:
+                        continue
+                    child = self.store.read_object(oid)
+                    if child.cid in (ATOMIC_PART_CLASS, CONNECTION_CLASS,
+                                     DOCUMENT_CLASS):
+                        doomed.add(oid)
+                        frontier.extend(t for t in child.refs if t is not None)
+                for oid in doomed:
+                    if oid in self.store:
+                        self.store.delete_object(oid)
+                        removed += 1
+            self.store.flush()
+            return removed
+        return self._timed("SM2", body)
+
+    def run_suite(self) -> Dict[str, OO7RunResult]:
+        """One run of every implemented operation."""
+        return {
+            "T1": self.t1_traversal(),
+            "T2": self.t2_traversal(),
+            "T6": self.t6_traversal(),
+            "Q1": self.q1_lookup(),
+            "Q2": self.q2_range(),
+            "Q3": self.q3_range(),
+            "Q4": self.q4_documents(),
+            "Q7": self.q7_scan(),
+            "SM1": self.sm1_insert(),
+            "SM2": self.sm2_delete(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _timed(self, name, body) -> OO7RunResult:
+        before = self.store.snapshot()
+        start = time.perf_counter()
+        accessed = body()
+        wall = time.perf_counter() - start
+        delta = self.store.snapshot() - before
+        self.policy.on_transaction_end()
+        return OO7RunResult(operation=name, objects_accessed=accessed,
+                            io_reads=delta.io_reads,
+                            io_writes=delta.io_writes,
+                            sim_seconds=delta.sim_time,
+                            wall_seconds=wall)
+
+    def _access(self, oid: int, source: Optional[int] = None) -> StoredObject:
+        record = self.store.read_object(oid)
+        self.policy.observe_access(source, oid, None)
+        return record
+
+    def _traverse(self, full: bool, update: bool) -> int:
+        accessed = 0
+        for module in self.database.module_oids:
+            record = self._access(module)
+            accessed += 1
+            stack = [t for t in record.refs if t is not None]
+            while stack:
+                oid = stack.pop()
+                node = self._access(oid, source=record.oid)
+                accessed += 1
+                if node.cid in (COMPLEX_ASSEMBLY_CLASS, BASE_ASSEMBLY_CLASS):
+                    stack.extend(t for t in node.refs if t is not None)
+                elif node.cid == COMPOSITE_PART_CLASS:
+                    accessed += self._visit_composite(node, full, update)
+        return accessed
+
+    def _visit_composite(self, composite: StoredObject, full: bool,
+                         update: bool) -> int:
+        root = composite.refs[0]
+        if root is None:
+            return 0
+        if not full:
+            self._access(root, source=composite.oid)
+            return 1
+        # DFS over the atomic graph through connections.
+        accessed = 0
+        seen = {root}
+        stack = [root]
+        first_atomic: Optional[StoredObject] = None
+        while stack:
+            oid = stack.pop()
+            atomic = self._access(oid, source=composite.oid)
+            if first_atomic is None:
+                first_atomic = atomic
+            accessed += 1
+            for conn_oid in atomic.refs:
+                if conn_oid is None:
+                    continue
+                connection = self._access(conn_oid, source=oid)
+                accessed += 1
+                target = connection.refs[0]
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        if update and first_atomic is not None:
+            self.store.write_object(first_atomic)
+        return accessed
+
+    def _range_query(self, fraction: float) -> int:
+        high = 99_999
+        low = int(high * (1.0 - fraction))
+        matches = self.database.atomic_parts_with_date_in(low, high)
+        for oid in matches:
+            self._access(oid)
+        return len(matches)
+
+
+def build_oo7_store(parameters: Optional[OO7Parameters] = None,
+                    store_config: Optional[StoreConfig] = None
+                    ) -> Tuple[OO7Database, ObjectStore]:
+    """Convenience: build and bulk-load an OO7 database."""
+    database = OO7Database(parameters)
+    records = database.build()
+    store = (store_config or StoreConfig()).build()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    return database, store

@@ -1,0 +1,85 @@
+"""OCB core: parameters, generation, workload, metrics, experiments."""
+
+from repro.core.benchmark import BenchmarkResult, OCBBenchmark
+from repro.core.database import DatabaseStatistics, OCBDatabase, OCBObject
+from repro.core.experiment import ClusteringExperiment, ExperimentResult
+from repro.core.generation import (
+    GenerationReport,
+    generate_database,
+    generate_schema,
+)
+from repro.core.generic_ops import (
+    GenericOperation,
+    GenericOperationsRunner,
+    OperationResult,
+)
+from repro.core.metrics import KindStats, MetricsCollector, PhaseReport
+from repro.core.parameters import (
+    DatabaseParameters,
+    ReferenceTypeSpec,
+    WorkloadParameters,
+    default_reference_types,
+)
+from repro.core.presets import (
+    PRESETS,
+    default_database_parameters,
+    default_workload_parameters,
+    dstc_club_database_parameters,
+    dstc_club_workload_parameters,
+    hypermodel_like_database_parameters,
+    oo1_like_database_parameters,
+    oo1_like_workload_parameters,
+    oo7_like_database_parameters,
+    preset,
+)
+from repro.core.schema import ClassDescriptor, Schema
+from repro.core.transactions import (
+    AccessContext,
+    TransactionKind,
+    TransactionResult,
+    TransactionSpec,
+    run_transaction,
+)
+from repro.core.workload import WorkloadReport, WorkloadRunner
+
+__all__ = [
+    "OCBBenchmark",
+    "BenchmarkResult",
+    "OCBDatabase",
+    "OCBObject",
+    "DatabaseStatistics",
+    "ClusteringExperiment",
+    "ExperimentResult",
+    "GenerationReport",
+    "generate_database",
+    "generate_schema",
+    "GenericOperation",
+    "GenericOperationsRunner",
+    "OperationResult",
+    "KindStats",
+    "MetricsCollector",
+    "PhaseReport",
+    "DatabaseParameters",
+    "WorkloadParameters",
+    "ReferenceTypeSpec",
+    "default_reference_types",
+    "ClassDescriptor",
+    "Schema",
+    "AccessContext",
+    "TransactionKind",
+    "TransactionResult",
+    "TransactionSpec",
+    "run_transaction",
+    "WorkloadReport",
+    "WorkloadRunner",
+    "PRESETS",
+    "preset",
+    "default_database_parameters",
+    "default_workload_parameters",
+    "dstc_club_database_parameters",
+    "dstc_club_workload_parameters",
+    "oo1_like_database_parameters",
+    "oo1_like_workload_parameters",
+    "hypermodel_like_database_parameters",
+    "oo7_like_database_parameters",
+]

@@ -1,0 +1,126 @@
+"""OCBBenchmark — the one-call facade over the whole pipeline.
+
+Generate the database (Fig. 2), bulk-load it into a Texas-like store with
+a chosen initial placement, execute the cold/warm protocol, and package the
+results.  Everything is overridable, nothing is hidden: the pieces used
+here (:func:`~repro.core.generation.generate_database`,
+:class:`~repro.store.storage.ObjectStore`,
+:class:`~repro.core.workload.WorkloadRunner`,
+:class:`~repro.core.experiment.ClusteringExperiment`) are public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.clustering.placements import placement_from_name
+from repro.core.database import DatabaseStatistics, OCBDatabase
+from repro.core.experiment import ClusteringExperiment, ExperimentResult
+from repro.core.generation import GenerationReport, generate_database
+from repro.core.parameters import DatabaseParameters, WorkloadParameters
+from repro.core.presets import (
+    default_database_parameters,
+    default_workload_parameters,
+)
+from repro.core.workload import WorkloadReport, WorkloadRunner
+from repro.errors import WorkloadError
+from repro.store.storage import ObjectStore, StoreConfig
+
+__all__ = ["BenchmarkResult", "OCBBenchmark"]
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything one benchmark run produced."""
+
+    database_statistics: DatabaseStatistics
+    generation: GenerationReport
+    report: WorkloadReport
+    store_pages: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        warm = self.report.warm.totals
+        lines = [
+            "OCB benchmark result",
+            f"  database : {self.database_statistics.describe()}",
+            f"  generated in {self.generation.total_seconds:.3f}s "
+            f"({self.generation.removed_references} refs removed by "
+            f"consistency)",
+            f"  store    : {self.store_pages} pages",
+            f"  warm run : {warm.count} transactions, "
+            f"{warm.visits_per_transaction:.1f} objects/txn, "
+            f"{warm.reads_per_transaction:.2f} reads/txn, "
+            f"{warm.hit_ratio * 100:.1f}% buffer hits",
+        ]
+        return "\n".join(lines)
+
+
+class OCBBenchmark:
+    """Configure once, then :meth:`setup` and :meth:`run`."""
+
+    def __init__(self,
+                 database_parameters: Optional[DatabaseParameters] = None,
+                 workload_parameters: Optional[WorkloadParameters] = None,
+                 store_config: Optional[StoreConfig] = None,
+                 policy: Optional[ClusteringPolicy] = None,
+                 initial_placement: str = "sequential") -> None:
+        self.database_parameters = (database_parameters
+                                    or default_database_parameters())
+        self.workload_parameters = (workload_parameters
+                                    or default_workload_parameters())
+        self.store_config = store_config or StoreConfig()
+        self.policy = policy or NoClustering()
+        self.initial_placement = initial_placement
+        self.database: Optional[OCBDatabase] = None
+        self.generation: Optional[GenerationReport] = None
+        self.store: Optional[ObjectStore] = None
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+
+    def setup(self, validate: bool = False) -> OCBDatabase:
+        """Generate the database and bulk-load it into a fresh store."""
+        self.database, self.generation = generate_database(
+            self.database_parameters, validate=validate)
+        self.store = self.store_config.build()
+        records = self.database.to_records()
+        strategy = placement_from_name(self.initial_placement)
+        order = strategy(records)
+        self.store.bulk_load(records.values(), order=order)
+        self.store.reset_stats()
+        return self.database
+
+    def run(self) -> BenchmarkResult:
+        """Execute the cold/warm protocol (after :meth:`setup`)."""
+        if self.database is None or self.store is None:
+            self.setup()
+        assert self.database is not None and self.store is not None
+        assert self.generation is not None
+        runner = WorkloadRunner(self.database, self.store,
+                                self.workload_parameters, policy=self.policy)
+        report = runner.run()
+        return BenchmarkResult(
+            database_statistics=self.database.statistics(),
+            generation=self.generation,
+            report=report,
+            store_pages=self.store.page_count)
+
+    def run_clustering_experiment(self, label: str = "OCB",
+                                  io_mode: str = "touched"
+                                  ) -> ExperimentResult:
+        """Run the Tables 4-5 before/after protocol with this config."""
+        if self.database is None or self.store is None:
+            self.setup()
+        assert self.database is not None and self.store is not None
+        if isinstance(self.policy, NoClustering):
+            raise WorkloadError(
+                "a clustering experiment needs a clustering policy "
+                "(e.g. DSTCPolicy); got NoClustering")
+        experiment = ClusteringExperiment(
+            self.database, self.store, self.policy,
+            self.workload_parameters, label=label, io_mode=io_mode)
+        return experiment.run()

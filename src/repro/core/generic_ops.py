@@ -1,0 +1,291 @@
+"""The "fully generic OCB" operation set — the paper's future work.
+
+Section 5 of the paper: *"OCB could be easily enhanced to become a fully
+generic object-oriented benchmark ... by extending the transaction set so
+that it includes a broader range of operations (namely operations we
+discarded in the first place because they couldn't benefit from
+clustering)."*  Those are exactly the operations the related-work section
+catalogues and OCB's clustering-oriented workload dropped:
+
+* **creation** (OO1's Insert) — :meth:`GenericOperationsRunner.insert`,
+* **update** (HyperModel's Editing) — :meth:`~GenericOperationsRunner.update`
+  redraws one reference, maintaining back references on both the old and
+  the new target,
+* **deletion** (OO7's structural modifications) —
+  :meth:`~GenericOperationsRunner.delete` detaches every inbound and
+  outbound link before removing the object,
+* **range lookup** (HyperModel) — a predicate over a synthetic integer
+  attribute, evaluated on an index with every match fetched through the
+  store,
+* **sequential scan** (HyperModel) — visit every object.
+
+The runner keeps the in-memory :class:`~repro.core.database.OCBDatabase`
+and the persistent :class:`~repro.store.storage.ObjectStore` in lockstep,
+so structural invariants (``database.validate()``) hold after any sequence
+of operations — the property-based tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.core.database import OCBDatabase, OCBObject
+from repro.errors import WorkloadError
+from repro.rand.lewis_payne import LewisPayne
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore
+
+__all__ = ["GenericOperation", "OperationResult", "GenericOperationsRunner"]
+
+_STREAM_GENERIC = 0x0CB0_00FF
+
+#: Attribute used by range lookups: a pseudo-random but deterministic
+#: percentile derived from the object id (Knuth's multiplicative hash).
+def attribute_of(oid: int) -> int:
+    """The synthetic ``hundred``-style attribute of an object (0..99)."""
+    return ((oid * 2654435761) & 0xFFFFFFFF) % 100
+
+
+class GenericOperation(str, Enum):
+    """The extended operation kinds."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    RANGE_LOOKUP = "range_lookup"
+    SEQUENTIAL_SCAN = "sequential_scan"
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Metrics of one generic operation."""
+
+    operation: GenericOperation
+    objects_touched: int
+    io_reads: int
+    io_writes: int
+    sim_time: float
+    wall_time: float
+
+
+class GenericOperationsRunner:
+    """Executes the extended operation set against a loaded store."""
+
+    def __init__(self, database: OCBDatabase, store: ObjectStore,
+                 policy: Optional[ClusteringPolicy] = None,
+                 rng: Optional[LewisPayne] = None) -> None:
+        if store.object_count == 0:
+            raise WorkloadError("bulk-load the database before running "
+                                "generic operations")
+        self.database = database
+        self.store = store
+        self.policy = policy or NoClustering()
+        self._rng = rng or LewisPayne(
+            database.parameters.seed).spawn(_STREAM_GENERIC)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def insert(self) -> OperationResult:
+        """Create one object (class via DIST3, references via DIST4)."""
+        def body() -> int:
+            params = self.database.parameters
+            oid = self.database.next_oid
+            cid = params.dist3.draw(self._rng, 1, params.num_classes,
+                                    center=oid)
+            descriptor = self.database.schema.get(cid)
+            obj = OCBObject(oid=oid, cid=cid,
+                            oref=[None] * descriptor.max_nref)
+            self.database.add_object(obj)
+            touched = 1
+            low, high = params.object_ref_bounds(
+                min(oid, params.num_objects or oid))
+            for index, _type_id, target_class in descriptor.references():
+                if target_class is None:
+                    continue
+                iterator = self.database.schema.get(target_class).iterator
+                if not iterator:
+                    continue
+                drawn = params.dist4.draw(self._rng, low, high, center=oid)
+                target = iterator[(drawn - 1) % len(iterator)]
+                if target == oid:
+                    continue
+                obj.oref[index] = target
+                self.database.get(target).back_refs.append((oid, index))
+                touched += self._sync_record(target)
+            self.store.insert_object(self._record_for(oid))
+            self.store.flush()
+            return touched
+        return self._timed(GenericOperation.INSERT, body)
+
+    def update(self, oid: Optional[int] = None) -> OperationResult:
+        """Redraw one reference of an object, fixing both back-ref sides."""
+        def body() -> int:
+            target_oid = oid if oid is not None else self._pick_oid()
+            obj = self.database.get(target_oid)
+            touched = 1
+            slots = [i for i, t in enumerate(obj.oref) if t is not None]
+            if not slots:
+                # Nothing to rewire; still a (logical) attribute update.
+                self._sync_record(target_oid)
+                self.store.flush()
+                return touched
+            slot = slots[self._rng.randint(0, len(slots) - 1)]
+            old_target = obj.oref[slot]
+            descriptor = self.database.schema.get(obj.cid)
+            target_class = descriptor.cref[slot]
+            iterator = self.database.schema.get(target_class).iterator
+            params = self.database.parameters
+            low, high = params.object_ref_bounds(target_oid)
+            drawn = params.dist4.draw(self._rng, low, high, center=target_oid)
+            new_target = iterator[(drawn - 1) % len(iterator)]
+            if new_target == old_target:
+                self._sync_record(target_oid)
+                self.store.flush()
+                return touched
+            obj.oref[slot] = new_target
+            old_obj = self.database.get(old_target)
+            old_obj.back_refs.remove((target_oid, slot))
+            self.database.get(new_target).back_refs.append((target_oid, slot))
+            touched += self._sync_record(target_oid)
+            touched += self._sync_record(old_target)
+            touched += self._sync_record(new_target)
+            self.store.flush()
+            return touched
+        return self._timed(GenericOperation.UPDATE, body)
+
+    def delete(self, oid: Optional[int] = None) -> OperationResult:
+        """Remove an object, detaching every inbound and outbound link."""
+        def body() -> int:
+            victim_oid = oid if oid is not None else self._pick_oid()
+            victim = self.database.get(victim_oid)
+            touched = 1
+            # Outbound: remove our entries from targets' back references.
+            for index, target in enumerate(victim.oref):
+                if target is None or target == victim_oid:
+                    continue
+                target_obj = self.database.get(target)
+                target_obj.back_refs.remove((victim_oid, index))
+                touched += self._sync_record(target)
+            # Inbound: NULL every reference that points at the victim.
+            for source, index in list(victim.back_refs):
+                if source == victim_oid:
+                    continue
+                source_obj = self.database.get(source)
+                if source_obj.oref[index] == victim_oid:
+                    source_obj.oref[index] = None
+                    touched += self._sync_record(source)
+            self.database.remove_object(victim_oid)
+            self.store.delete_object(victim_oid)
+            self.store.flush()
+            return touched
+        return self._timed(GenericOperation.DELETE, body)
+
+    def range_lookup(self, low: Optional[int] = None,
+                     width: int = 10) -> OperationResult:
+        """Fetch every object whose attribute falls in [low, low+width)."""
+        if not 1 <= width <= 100:
+            raise WorkloadError(f"width must be in [1, 100], got {width}")
+
+        def body() -> int:
+            start = low if low is not None \
+                else self._rng.randint(0, 100 - width)
+            matches = [oid for oid in self.database.objects
+                       if start <= attribute_of(oid) < start + width]
+            for oid in matches:
+                self._access(oid)
+            return len(matches)
+        return self._timed(GenericOperation.RANGE_LOOKUP, body)
+
+    def sequential_scan(self) -> OperationResult:
+        """Visit every object in physical order."""
+        def body() -> int:
+            order = self.store.current_order()
+            for oid in order:
+                self._access(oid)
+            return len(order)
+        return self._timed(GenericOperation.SEQUENTIAL_SCAN, body)
+
+    def run_mix(self, operations: int,
+                weights: Optional[Dict[GenericOperation, float]] = None
+                ) -> List[OperationResult]:
+        """Run a weighted mix of the generic operations."""
+        if operations < 0:
+            raise WorkloadError(f"operations must be >= 0, got {operations}")
+        weights = weights or {
+            GenericOperation.INSERT: 0.25,
+            GenericOperation.UPDATE: 0.35,
+            GenericOperation.DELETE: 0.10,
+            GenericOperation.RANGE_LOOKUP: 0.25,
+            GenericOperation.SEQUENTIAL_SCAN: 0.05,
+        }
+        total = sum(weights.values())
+        if total <= 0:
+            raise WorkloadError("operation weights must sum to > 0")
+        dispatch = {
+            GenericOperation.INSERT: self.insert,
+            GenericOperation.UPDATE: self.update,
+            GenericOperation.DELETE: self.delete,
+            GenericOperation.RANGE_LOOKUP: self.range_lookup,
+            GenericOperation.SEQUENTIAL_SCAN: self.sequential_scan,
+        }
+        results: List[OperationResult] = []
+        for _ in range(operations):
+            u = self._rng.random() * total
+            acc = 0.0
+            chosen = GenericOperation.UPDATE
+            for operation, weight in weights.items():
+                acc += weight
+                if u < acc:
+                    chosen = operation
+                    break
+            if chosen is GenericOperation.DELETE and \
+                    len(self.database.objects) <= 1:
+                chosen = GenericOperation.INSERT  # Keep the DB populated.
+            results.append(dispatch[chosen]())
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _timed(self, operation: GenericOperation, body) -> OperationResult:
+        before = self.store.snapshot()
+        start = time.perf_counter()
+        touched = body()
+        wall = time.perf_counter() - start
+        delta = self.store.snapshot() - before
+        self.policy.on_transaction_end()
+        return OperationResult(operation=operation,
+                               objects_touched=touched,
+                               io_reads=delta.io_reads,
+                               io_writes=delta.io_writes,
+                               sim_time=delta.sim_time,
+                               wall_time=wall)
+
+    def _pick_oid(self) -> int:
+        oids = sorted(self.database.objects)
+        return oids[self._rng.randint(0, len(oids) - 1)]
+
+    def _access(self, oid: int, source: Optional[int] = None) -> StoredObject:
+        record = self.store.read_object(oid)
+        self.policy.observe_access(source, oid, None)
+        return record
+
+    def _record_for(self, oid: int) -> StoredObject:
+        obj = self.database.get(oid)
+        instance_size = self.database.schema.get(obj.cid).instance_size
+        return StoredObject(oid=obj.oid, cid=obj.cid,
+                            refs=tuple(obj.oref),
+                            back_refs=tuple(obj.back_refs),
+                            filler=instance_size)
+
+    def _sync_record(self, oid: int) -> int:
+        """Write the current in-memory state of *oid* back to the store."""
+        self.store.write_object(self._record_for(oid))
+        return 1

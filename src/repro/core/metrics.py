@@ -1,0 +1,169 @@
+"""OCB metrics (Section 3.3 of the paper).
+
+The paper measures, globally *and per transaction type*:
+
+* database response time (we report both simulated and wall-clock),
+* the number of accessed objects,
+* the number of I/Os performed, split into **transaction I/Os** and
+  **clustering I/O overhead**.
+
+:class:`MetricsCollector` accumulates per-kind aggregates from
+``(TransactionResult, StoreSnapshot delta, wall seconds)`` triples;
+:class:`PhaseReport` is the publishable summary of one protocol phase
+(cold or warm run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.transactions import TransactionKind, TransactionResult
+from repro.store.storage import StoreSnapshot
+
+__all__ = ["KindStats", "PhaseReport", "MetricsCollector"]
+
+
+@dataclass
+class KindStats:
+    """Aggregates for one transaction kind."""
+
+    count: int = 0
+    visits: int = 0
+    distinct_objects: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+    truncated: int = 0
+
+    def add(self, result: TransactionResult, delta: StoreSnapshot,
+            wall_seconds: float) -> None:
+        """Fold one transaction into the aggregate."""
+        self.count += 1
+        self.visits += result.visits
+        self.distinct_objects += result.distinct_objects
+        self.io_reads += delta.io_reads
+        self.io_writes += delta.io_writes
+        self.buffer_hits += delta.buffer.hits
+        self.buffer_misses += delta.buffer.misses
+        self.sim_time += delta.sim_time
+        self.wall_time += wall_seconds
+        if result.truncated:
+            self.truncated += 1
+
+    def merge(self, other: "KindStats") -> None:
+        """Fold another aggregate (multi-client merges)."""
+        self.count += other.count
+        self.visits += other.visits
+        self.distinct_objects += other.distinct_objects
+        self.io_reads += other.io_reads
+        self.io_writes += other.io_writes
+        self.buffer_hits += other.buffer_hits
+        self.buffer_misses += other.buffer_misses
+        self.sim_time += other.sim_time
+        self.wall_time += other.wall_time
+        self.truncated += other.truncated
+
+    # Per-transaction means (0.0 when the kind never ran).
+
+    @property
+    def ios_per_transaction(self) -> float:
+        """Mean page I/Os (reads + writes) per transaction."""
+        return (self.io_reads + self.io_writes) / self.count if self.count else 0.0
+
+    @property
+    def reads_per_transaction(self) -> float:
+        """Mean page reads per transaction."""
+        return self.io_reads / self.count if self.count else 0.0
+
+    @property
+    def visits_per_transaction(self) -> float:
+        """Mean accessed objects per transaction."""
+        return self.visits / self.count if self.count else 0.0
+
+    @property
+    def sim_time_per_transaction(self) -> float:
+        """Mean simulated response time per transaction (seconds)."""
+        return self.sim_time / self.count if self.count else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer hit ratio over the kind's accesses."""
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
+
+@dataclass
+class PhaseReport:
+    """Metrics of one protocol phase (cold run or warm run)."""
+
+    name: str
+    per_kind: Dict[TransactionKind, KindStats] = field(default_factory=dict)
+
+    @property
+    def totals(self) -> KindStats:
+        """Aggregate over every kind."""
+        total = KindStats()
+        for stats in self.per_kind.values():
+            total.merge(stats)
+        return total
+
+    @property
+    def transaction_count(self) -> int:
+        """Transactions executed in the phase."""
+        return sum(stats.count for stats in self.per_kind.values())
+
+    def kind(self, kind: TransactionKind) -> KindStats:
+        """Stats for one kind (empty aggregate if it never ran)."""
+        return self.per_kind.get(kind, KindStats())
+
+    def merge(self, other: "PhaseReport") -> None:
+        """Fold another phase report into this one (multi-client)."""
+        for kind, stats in other.per_kind.items():
+            if kind in self.per_kind:
+                self.per_kind[kind].merge(stats)
+            else:
+                merged = KindStats()
+                merged.merge(stats)
+                self.per_kind[kind] = merged
+
+    def rows(self) -> List[Tuple[str, int, float, float, float, float]]:
+        """Table rows: kind, n, visits/txn, reads/txn, IOs/txn, t_sim/txn."""
+        table = []
+        for kind in TransactionKind:
+            stats = self.per_kind.get(kind)
+            if stats is None or stats.count == 0:
+                continue
+            table.append((kind.value, stats.count,
+                          stats.visits_per_transaction,
+                          stats.reads_per_transaction,
+                          stats.ios_per_transaction,
+                          stats.sim_time_per_transaction))
+        totals = self.totals
+        table.append(("all", totals.count,
+                      totals.visits_per_transaction,
+                      totals.reads_per_transaction,
+                      totals.ios_per_transaction,
+                      totals.sim_time_per_transaction))
+        return table
+
+
+class MetricsCollector:
+    """Accumulates transaction results into a :class:`PhaseReport`."""
+
+    def __init__(self, phase_name: str) -> None:
+        self._report = PhaseReport(name=phase_name)
+
+    def record(self, result: TransactionResult, delta: StoreSnapshot,
+               wall_seconds: float = 0.0) -> None:
+        """Fold one transaction (with its store-delta) into the phase."""
+        stats = self._report.per_kind.setdefault(result.kind, KindStats())
+        stats.add(result, delta, wall_seconds)
+
+    @property
+    def report(self) -> PhaseReport:
+        """The phase report built so far."""
+        return self._report

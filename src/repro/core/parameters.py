@@ -1,0 +1,297 @@
+"""OCB parameters — Tables 1 and 2 of the paper, as validated dataclasses.
+
+:class:`DatabaseParameters` carries everything Table 1 lists (NC, MAXNREF,
+BASESIZE, NO, NREFT, INFCLASS/SUPCLASS, INFREF/SUPREF, DIST1..DIST4) plus
+the two "set up a priori" escape hatches the paper's text allows: fixed
+reference types and fixed class references.  :class:`WorkloadParameters`
+carries Table 2 (depths, COLDN/HOTN, THINK, the four occurrence
+probabilities, RAND5, CLIENTN).
+
+Reference *types* get semantics through :class:`ReferenceTypeSpec`: a type
+may be acyclic (the consistency step deletes references that would close a
+cycle in its graph) and may be an inheritance type (ancestors contribute
+their BASESIZE to subclass instance sizes).  The default mapping for
+NREFT = 4 is: type 1 = inheritance, type 2 = composition (both acyclic),
+types 3-4 = free associations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.errors import ParameterError
+from repro.rand.distributions import Distribution, UniformDistribution
+from repro.rand.lewis_payne import DEFAULT_SEED
+
+__all__ = [
+    "ReferenceTypeSpec",
+    "default_reference_types",
+    "DatabaseParameters",
+    "WorkloadParameters",
+]
+
+_PROBABILITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ReferenceTypeSpec:
+    """Semantics of one OCB reference type."""
+
+    type_id: int
+    name: str
+    acyclic: bool = False
+    is_inheritance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type_id < 1:
+            raise ParameterError(f"type_id must be >= 1, got {self.type_id}")
+        if self.is_inheritance and not self.acyclic:
+            raise ParameterError(
+                f"inheritance type {self.type_id} must be acyclic")
+
+
+def default_reference_types(nreft: int) -> Tuple[ReferenceTypeSpec, ...]:
+    """The default semantics ladder for ``NREFT`` reference types.
+
+    Type 1 is inheritance, type 2 composition, the rest plain associations —
+    matching the paper's examples ("a type of inheritance, aggregation,
+    user association, etc.").
+    """
+    if nreft < 1:
+        raise ParameterError(f"NREFT must be >= 1, got {nreft}")
+    specs = []
+    for type_id in range(1, nreft + 1):
+        if type_id == 1 and nreft >= 2:
+            specs.append(ReferenceTypeSpec(type_id, "inheritance",
+                                           acyclic=True, is_inheritance=True))
+        elif type_id == 2:
+            specs.append(ReferenceTypeSpec(type_id, "composition", acyclic=True))
+        else:
+            specs.append(ReferenceTypeSpec(type_id, f"association-{type_id}"))
+    return tuple(specs)
+
+
+def _per_class(value: Union[int, Tuple[int, ...]], count: int,
+               label: str, minimum: int) -> Tuple[int, ...]:
+    """Broadcast a scalar or validate a per-class tuple."""
+    if isinstance(value, int):
+        values: Tuple[int, ...] = (value,) * count
+    else:
+        values = tuple(int(v) for v in value)
+        if len(values) != count:
+            raise ParameterError(
+                f"{label} must have one entry per class ({count}), "
+                f"got {len(values)}")
+    for v in values:
+        if v < minimum:
+            raise ParameterError(f"{label} entries must be >= {minimum}, got {v}")
+    return values
+
+
+@dataclass(frozen=True)
+class DatabaseParameters:
+    """Table 1 of the paper — the OCB database parameters.
+
+    Defaults are the paper's defaults (NC=20, MAXNREF=10, BASESIZE=50,
+    NO=20000, NREFT=4, bounds covering everything, all Uniform).
+    """
+
+    num_classes: int = 20                                     # NC
+    max_nref: Union[int, Tuple[int, ...]] = 10                # MAXNREF(i)
+    base_size: Union[int, Tuple[int, ...]] = 50               # BASESIZE(i)
+    num_objects: int = 20000                                  # NO
+    num_ref_types: int = 4                                    # NREFT
+    inf_class: int = 1                                        # INFCLASS
+    sup_class: Optional[int] = None                           # SUPCLASS (None -> NC)
+    inf_ref: int = 1                                          # INFREF
+    sup_ref: Optional[int] = None                             # SUPREF (None -> NO)
+    ref_zone: Optional[int] = None  # Relative bounds: [oid-zone, oid+zone].
+    dist1: Distribution = field(default_factory=UniformDistribution)
+    dist2: Distribution = field(default_factory=UniformDistribution)
+    dist3: Distribution = field(default_factory=UniformDistribution)
+    dist4: Distribution = field(default_factory=UniformDistribution)
+    reference_types: Optional[Tuple[ReferenceTypeSpec, ...]] = None
+    #: "The type of the references can be ... fixed a priori" — per-class
+    #: tuples of reference type ids (overrides DIST1).
+    fixed_tref: Optional[Tuple[Tuple[int, ...], ...]] = None
+    #: "The class reference selection can be ... set up a priori" — per-class
+    #: tuples of referenced class ids, 0/None for NIL (overrides DIST2).
+    fixed_cref: Optional[Tuple[Tuple[Optional[int], ...], ...]] = None
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 1:
+            raise ParameterError(f"NC must be >= 1, got {self.num_classes}")
+        if self.num_objects < 0:
+            raise ParameterError(f"NO must be >= 0, got {self.num_objects}")
+        if self.num_ref_types < 1:
+            raise ParameterError(f"NREFT must be >= 1, got {self.num_ref_types}")
+
+        object.__setattr__(self, "max_nref",
+                           _per_class(self.max_nref, self.num_classes,
+                                      "MAXNREF", 0))
+        object.__setattr__(self, "base_size",
+                           _per_class(self.base_size, self.num_classes,
+                                      "BASESIZE", 0))
+
+        sup_class = self.num_classes if self.sup_class is None else self.sup_class
+        object.__setattr__(self, "sup_class", sup_class)
+        if not 0 <= self.inf_class <= sup_class <= self.num_classes:
+            raise ParameterError(
+                f"need 0 <= INFCLASS <= SUPCLASS <= NC, got "
+                f"[{self.inf_class}, {sup_class}] with NC={self.num_classes}")
+
+        sup_ref = self.num_objects if self.sup_ref is None else self.sup_ref
+        object.__setattr__(self, "sup_ref", sup_ref)
+        if self.num_objects and not 1 <= self.inf_ref <= max(sup_ref, 1):
+            raise ParameterError(
+                f"need 1 <= INFREF <= SUPREF, got [{self.inf_ref}, {sup_ref}]")
+        if self.ref_zone is not None and self.ref_zone < 0:
+            raise ParameterError(f"ref_zone must be >= 0, got {self.ref_zone}")
+
+        ref_types = self.reference_types
+        if ref_types is None:
+            ref_types = default_reference_types(self.num_ref_types)
+        else:
+            ref_types = tuple(ref_types)
+            ids = sorted(spec.type_id for spec in ref_types)
+            if ids != list(range(1, self.num_ref_types + 1)):
+                raise ParameterError(
+                    f"reference_types ids must be 1..{self.num_ref_types}, "
+                    f"got {ids}")
+        object.__setattr__(self, "reference_types", ref_types)
+
+        for label, fixed in (("fixed_tref", self.fixed_tref),
+                             ("fixed_cref", self.fixed_cref)):
+            if fixed is None:
+                continue
+            fixed = tuple(tuple(row) for row in fixed)
+            object.__setattr__(self, label, fixed)
+            if len(fixed) != self.num_classes:
+                raise ParameterError(
+                    f"{label} must have one row per class ({self.num_classes})")
+            for cid, row in enumerate(fixed, start=1):
+                expected = self.max_nref[cid - 1]
+                if len(row) != expected:
+                    raise ParameterError(
+                        f"{label}[{cid}] must have MAXNREF={expected} entries, "
+                        f"got {len(row)}")
+        if self.fixed_tref is not None:
+            for row in self.fixed_tref:
+                for type_id in row:
+                    if not 1 <= type_id <= self.num_ref_types:
+                        raise ParameterError(
+                            f"fixed_tref type id {type_id} outside "
+                            f"1..{self.num_ref_types}")
+        if self.fixed_cref is not None:
+            for row in self.fixed_cref:
+                for target in row:
+                    if target is not None and not 0 <= target <= self.num_classes:
+                        raise ParameterError(
+                            f"fixed_cref class id {target} outside "
+                            f"0..{self.num_classes}")
+
+    # ------------------------------------------------------------------ #
+    # Per-class accessors (1-based, like the paper)
+    # ------------------------------------------------------------------ #
+
+    def max_nref_for(self, cid: int) -> int:
+        """MAXNREF(i) for class *cid* (1-based)."""
+        return self.max_nref[cid - 1]
+
+    def base_size_for(self, cid: int) -> int:
+        """BASESIZE(i) for class *cid* (1-based)."""
+        return self.base_size[cid - 1]
+
+    def ref_type_spec(self, type_id: int) -> ReferenceTypeSpec:
+        """The :class:`ReferenceTypeSpec` for a type id."""
+        for spec in self.reference_types:  # type: ignore[union-attr]
+            if spec.type_id == type_id:
+                return spec
+        raise ParameterError(f"unknown reference type {type_id}")
+
+    def object_ref_bounds(self, oid: int) -> Tuple[int, int]:
+        """The [INFREF, SUPREF] interval for references drawn from *oid*.
+
+        With ``ref_zone`` set, the bounds are relative to the referencing
+        object (Table 3's ``PartId ± RefZone``); otherwise absolute.
+        """
+        if self.ref_zone is not None:
+            low = max(1, oid - self.ref_zone)
+            high = min(self.num_objects, oid + self.ref_zone)
+            return (low, high)
+        return (self.inf_ref, min(self.sup_ref, self.num_objects))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """Table 2 of the paper — the OCB workload parameters."""
+
+    set_depth: int = 3                 # SETDEPTH
+    simple_depth: int = 3              # SIMDEPTH
+    hierarchy_depth: int = 5           # HIEDEPTH
+    stochastic_depth: int = 50         # STODEPTH
+    cold_n: int = 1000                 # COLDN
+    hot_n: int = 10000                 # HOTN
+    think_time: float = 0.0            # THINK
+    p_set: float = 0.25                # PSET
+    p_simple: float = 0.25             # PSIMPLE
+    p_hierarchy: float = 0.25          # PHIER
+    p_stochastic: float = 0.25         # PSTOCH
+    dist5: Distribution = field(default_factory=UniformDistribution)  # RAND5
+    clients: int = 1                   # CLIENTN
+    #: Probability of running a transaction "backwards" (the paper: all
+    #: transactions can be reversed to ascend the graphs).  Default off.
+    reverse_probability: float = 0.0
+    #: Reference type followed by hierarchy traversals (None = drawn
+    #: uniformly per transaction).
+    hierarchy_ref_type: Optional[int] = None
+    #: False reproduces the paper/OO1 accounting (duplicate visits count);
+    #: True visits each object at most once per transaction.
+    dedupe_visits: bool = False
+    #: Safety valve against exponential breadth-first blow-ups.
+    max_visits: int = 5000
+    #: Workload RNG seed (None derives a stream from the database seed).
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for label in ("set_depth", "simple_depth", "hierarchy_depth",
+                      "stochastic_depth"):
+            if getattr(self, label) < 0:
+                raise ParameterError(f"{label} must be >= 0")
+        for label in ("cold_n", "hot_n"):
+            if getattr(self, label) < 0:
+                raise ParameterError(f"{label} must be >= 0")
+        if self.think_time < 0:
+            raise ParameterError(f"THINK must be >= 0, got {self.think_time}")
+        if self.clients < 1:
+            raise ParameterError(f"CLIENTN must be >= 1, got {self.clients}")
+        if not 0.0 <= self.reverse_probability <= 1.0:
+            raise ParameterError("reverse_probability must be in [0, 1], got "
+                                 f"{self.reverse_probability}")
+        if self.max_visits < 1:
+            raise ParameterError(f"max_visits must be >= 1, got {self.max_visits}")
+        probabilities = (self.p_set, self.p_simple, self.p_hierarchy,
+                         self.p_stochastic)
+        for p in probabilities:
+            if not 0.0 <= p <= 1.0:
+                raise ParameterError(f"probabilities must be in [0, 1], got {p}")
+        total = sum(probabilities)
+        if abs(total - 1.0) > _PROBABILITY_TOLERANCE:
+            raise ParameterError(
+                f"PSET + PSIMPLE + PHIER + PSTOCH must sum to 1, got {total}")
+        if self.hierarchy_ref_type is not None and self.hierarchy_ref_type < 1:
+            raise ParameterError("hierarchy_ref_type must be >= 1, got "
+                                 f"{self.hierarchy_ref_type}")
+
+    @property
+    def transactions_total(self) -> int:
+        """COLDN + HOTN."""
+        return self.cold_n + self.hot_n
+
+    def probability_table(self) -> Tuple[Tuple[str, float], ...]:
+        """(kind, probability) pairs in draw order."""
+        return (("set", self.p_set), ("simple", self.p_simple),
+                ("hierarchy", self.p_hierarchy),
+                ("stochastic", self.p_stochastic))

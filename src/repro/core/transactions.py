@@ -1,0 +1,302 @@
+"""OCB transactions (Fig. 3 of the paper).
+
+Four transaction classes, all rooted at a randomly chosen object and
+bounded by a per-kind depth:
+
+* **Set-oriented access** — breadth first on *all* references
+  (``SETDEPTH``); empirically matches set queries (McIver & King).
+* **Simple traversal** — depth first on all references (``SIMDEPTH``).
+* **Hierarchy traversal** — depth first following only *one* reference
+  type (``HIEDEPTH``).
+* **Stochastic traversal** — a random walk of ``STODEPTH`` steps where the
+  next reference index N is chosen with ``p(N) = 1/2^N`` (approaching the
+  Markov-chain access patterns of Tsangaris & Naughton).
+
+Every transaction can run **reversed** ("ascending the graphs") by walking
+``BackRef`` edges instead of ``ORef``; reverse hierarchy traversals filter
+back references by the type of the originating slot.
+
+Duplicate visits are counted by default (the paper's OO1 heritage: its
+depth-7 traversal touches "3280 parts, with possible duplicates"); set
+semantics are available through ``dedupe=True``.
+
+The :class:`AccessContext` funnels every object access through the store
+(so page faults are charged) and notifies the clustering policy of each
+link crossing (DSTC's observation input).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.errors import WorkloadError
+from repro.rand.lewis_payne import LewisPayne
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore
+
+__all__ = [
+    "TransactionKind",
+    "TransactionSpec",
+    "TransactionResult",
+    "AccessContext",
+    "run_transaction",
+]
+
+
+class TransactionKind(str, Enum):
+    """The four OCB transaction classes."""
+
+    SET = "set"
+    SIMPLE = "simple"
+    HIERARCHY = "hierarchy"
+    STOCHASTIC = "stochastic"
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """Everything needed to execute one transaction."""
+
+    kind: TransactionKind
+    root: int
+    depth: int
+    reverse: bool = False
+    ref_type: Optional[int] = None  # Hierarchy traversals only.
+    dedupe: bool = False
+    max_visits: int = 5000
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Logical outcome of one transaction (store I/O measured outside)."""
+
+    kind: TransactionKind
+    root: int
+    visits: int
+    distinct_objects: int
+    max_depth_reached: int
+    reverse: bool
+    ref_type: Optional[int]
+    truncated: bool
+
+
+class AccessContext:
+    """Store + policy + catalog wiring shared by all transactions."""
+
+    def __init__(self, store: ObjectStore,
+                 policy: Optional[ClusteringPolicy] = None,
+                 tref_table: Optional[Mapping[int, Tuple[int, ...]]] = None,
+                 catalog: Optional[Mapping[int, int]] = None) -> None:
+        self.store = store
+        self.policy = policy or NoClustering()
+        self._tref_table = dict(tref_table or {})
+        self._catalog = dict(catalog or {})
+
+    def class_of(self, oid: int) -> Optional[int]:
+        """Class of *oid* from the catalog (no I/O), if known."""
+        return self._catalog.get(oid)
+
+    def ref_type_of(self, cid: Optional[int], index: int) -> Optional[int]:
+        """Type of reference slot *index* of class *cid*, if known."""
+        if cid is None:
+            return None
+        types = self._tref_table.get(cid)
+        if types is None or index >= len(types):
+            return None
+        return types[index]
+
+    def access(self, oid: int, source: Optional[StoredObject] = None,
+               ref_index: Optional[int] = None,
+               via_back_ref: bool = False) -> StoredObject:
+        """Read one object, charging I/O and notifying the policy."""
+        record = self.store.read_object(oid)
+        source_oid = source.oid if source is not None else None
+        if source is not None and ref_index is not None:
+            if via_back_ref:
+                # The crossed slot belongs to the *target* object's class.
+                ref_type = self.ref_type_of(record.cid, ref_index)
+            else:
+                ref_type = self.ref_type_of(source.cid, ref_index)
+        else:
+            ref_type = None
+        self.policy.observe_access(source_oid, oid, ref_type)
+        return record
+
+    def end_transaction(self) -> None:
+        """Notify the policy that one transaction finished."""
+        self.policy.on_transaction_end()
+
+
+class _Tracker:
+    """Visit accounting shared by the four traversal algorithms."""
+
+    __slots__ = ("visits", "distinct", "max_depth", "truncated", "limit",
+                 "dedupe")
+
+    def __init__(self, limit: int, dedupe: bool) -> None:
+        self.visits = 0
+        self.distinct: Set[int] = set()
+        self.max_depth = 0
+        self.truncated = False
+        self.limit = limit
+        self.dedupe = dedupe
+
+    def note(self, oid: int, depth: int) -> bool:
+        """Record a visit; return False when the budget is exhausted."""
+        if self.visits >= self.limit:
+            self.truncated = True
+            return False
+        self.visits += 1
+        self.distinct.add(oid)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        return True
+
+    def should_expand(self, oid: int) -> bool:
+        """With dedupe on, only first visits are expanded."""
+        return True  # Expansion filtering handled by callers via `seen`.
+
+
+def run_transaction(ctx: AccessContext, spec: TransactionSpec,
+                    rng: LewisPayne) -> TransactionResult:
+    """Execute one transaction and return its logical result."""
+    tracker = _Tracker(spec.max_visits, spec.dedupe)
+    if spec.kind is TransactionKind.SET:
+        _breadth_first(ctx, spec, tracker)
+    elif spec.kind is TransactionKind.SIMPLE:
+        _depth_first(ctx, spec, tracker, type_filter=None)
+    elif spec.kind is TransactionKind.HIERARCHY:
+        if spec.ref_type is None:
+            raise WorkloadError("hierarchy traversal needs a ref_type")
+        _depth_first(ctx, spec, tracker, type_filter=spec.ref_type)
+    elif spec.kind is TransactionKind.STOCHASTIC:
+        _stochastic(ctx, spec, tracker, rng)
+    else:  # pragma: no cover - exhaustive enum
+        raise WorkloadError(f"unknown transaction kind {spec.kind}")
+    ctx.end_transaction()
+    return TransactionResult(
+        kind=spec.kind,
+        root=spec.root,
+        visits=tracker.visits,
+        distinct_objects=len(tracker.distinct),
+        max_depth_reached=tracker.max_depth,
+        reverse=spec.reverse,
+        ref_type=spec.ref_type,
+        truncated=tracker.truncated)
+
+
+# ---------------------------------------------------------------------- #
+# Neighbour expansion (forward or reversed)
+# ---------------------------------------------------------------------- #
+
+def _neighbours(ctx: AccessContext, record: StoredObject, reverse: bool,
+                type_filter: Optional[int]) -> List[Tuple[int, int, bool]]:
+    """(target oid, ref index, via_back_ref) edges leaving *record*."""
+    edges: List[Tuple[int, int, bool]] = []
+    if not reverse:
+        for index, target in enumerate(record.refs):
+            if target is None:
+                continue
+            if type_filter is not None and \
+                    ctx.ref_type_of(record.cid, index) != type_filter:
+                continue
+            edges.append((target, index, False))
+    else:
+        for source_oid, index in record.back_refs:
+            if type_filter is not None:
+                source_cid = ctx.class_of(source_oid)
+                if ctx.ref_type_of(source_cid, index) != type_filter:
+                    continue
+            edges.append((source_oid, index, True))
+    return edges
+
+
+# ---------------------------------------------------------------------- #
+# Set-oriented access: breadth first on all references
+# ---------------------------------------------------------------------- #
+
+def _breadth_first(ctx: AccessContext, spec: TransactionSpec,
+                   tracker: _Tracker) -> None:
+    root_record = ctx.access(spec.root)
+    if not tracker.note(spec.root, 0):
+        return
+    seen: Set[int] = {spec.root}
+    frontier: "deque[Tuple[StoredObject, int]]" = deque([(root_record, 0)])
+    while frontier:
+        record, depth = frontier.popleft()
+        if depth >= spec.depth:
+            continue
+        for target, index, via_back in _neighbours(ctx, record, spec.reverse,
+                                                   None):
+            if spec.dedupe and target in seen:
+                continue
+            child = ctx.access(target, source=record, ref_index=index,
+                               via_back_ref=via_back)
+            if not tracker.note(target, depth + 1):
+                return
+            seen.add(target)
+            frontier.append((child, depth + 1))
+
+
+# ---------------------------------------------------------------------- #
+# Simple & hierarchy traversals: depth first
+# ---------------------------------------------------------------------- #
+
+def _depth_first(ctx: AccessContext, spec: TransactionSpec,
+                 tracker: _Tracker, type_filter: Optional[int]) -> None:
+    root_record = ctx.access(spec.root)
+    if not tracker.note(spec.root, 0):
+        return
+    seen: Set[int] = {spec.root}
+
+    def visit(record: StoredObject, depth: int) -> bool:
+        if depth >= spec.depth:
+            return True
+        for target, index, via_back in _neighbours(ctx, record, spec.reverse,
+                                                   type_filter):
+            if spec.dedupe and target in seen:
+                continue
+            child = ctx.access(target, source=record, ref_index=index,
+                               via_back_ref=via_back)
+            if not tracker.note(target, depth + 1):
+                return False
+            seen.add(target)
+            if not visit(child, depth + 1):
+                return False
+        return True
+
+    visit(root_record, 0)
+
+
+# ---------------------------------------------------------------------- #
+# Stochastic traversal: p(N) = 1/2^N random walk
+# ---------------------------------------------------------------------- #
+
+_STOCHASTIC_RETRIES = 8
+
+
+def _stochastic(ctx: AccessContext, spec: TransactionSpec,
+                tracker: _Tracker, rng: LewisPayne) -> None:
+    record = ctx.access(spec.root)
+    if not tracker.note(spec.root, 0):
+        return
+    for step in range(1, spec.depth + 1):
+        edges = _neighbours(ctx, record, spec.reverse, None)
+        if not edges:
+            return
+        chosen: Optional[Tuple[int, int, bool]] = None
+        for _ in range(_STOCHASTIC_RETRIES):
+            n = rng.geometric_half(len(edges))
+            if n is not None:
+                chosen = edges[n - 1]
+                break
+        if chosen is None:
+            return  # Absorbing state: residual probability mass.
+        target, index, via_back = chosen
+        record = ctx.access(target, source=record, ref_index=index,
+                            via_back_ref=via_back)
+        if not tracker.note(target, step):
+            return

@@ -1,0 +1,159 @@
+"""The OCB execution protocol (Section 3.3).
+
+Each client executes:
+
+1. a **cold run** of ``COLDN`` transactions whose kinds are drawn from the
+   PSET/PSIMPLE/PHIER/PSTOCH probabilities — its purpose is to fill the
+   cache so the *stationary* behaviour is observed;
+2. a **warm run** of ``HOTN`` transactions, whose metrics are the ones a
+   benchmark report quotes.
+
+A latency ``THINK`` can be inserted between transactions (charged on the
+simulated clock).  Root objects come from DIST5/RAND5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.clustering.base import ClusteringPolicy, NoClustering, PlacementContext
+from repro.core.database import OCBDatabase
+from repro.core.metrics import MetricsCollector, PhaseReport
+from repro.core.parameters import WorkloadParameters
+from repro.core.transactions import (
+    AccessContext,
+    TransactionKind,
+    TransactionSpec,
+    run_transaction,
+)
+from repro.errors import WorkloadError
+from repro.rand.lewis_payne import LewisPayne
+from repro.store.storage import ObjectStore
+
+__all__ = ["WorkloadReport", "WorkloadRunner"]
+
+_STREAM_WORKLOAD = 0x0CB0_0001
+
+
+@dataclass
+class WorkloadReport:
+    """Cold + warm phase metrics of one workload execution."""
+
+    cold: PhaseReport
+    warm: PhaseReport
+
+    @property
+    def warm_reads_per_transaction(self) -> float:
+        """The paper's headline metric: mean page reads per transaction."""
+        return self.warm.totals.reads_per_transaction
+
+    @property
+    def warm_ios_per_transaction(self) -> float:
+        """Mean total I/Os per warm transaction."""
+        return self.warm.totals.ios_per_transaction
+
+
+class WorkloadRunner:
+    """Executes the OCB protocol for a single client."""
+
+    def __init__(self, database: OCBDatabase, store: ObjectStore,
+                 parameters: WorkloadParameters,
+                 policy: Optional[ClusteringPolicy] = None,
+                 rng: Optional[LewisPayne] = None,
+                 client_id: int = 0) -> None:
+        if store.object_count == 0:
+            raise WorkloadError("the store is empty; bulk-load the database "
+                                "before running a workload")
+        self.database = database
+        self.store = store
+        self.parameters = parameters
+        self.policy = policy or NoClustering()
+        self.client_id = client_id
+        seed = parameters.seed if parameters.seed is not None \
+            else database.parameters.seed
+        base_rng = rng or LewisPayne(seed)
+        self._rng = base_rng.spawn(_STREAM_WORKLOAD + client_id)
+        self.context = AccessContext(
+            store=store,
+            policy=self.policy,
+            tref_table=database.tref_table(),
+            catalog=database.catalog())
+
+    # ------------------------------------------------------------------ #
+    # Drawing transactions
+    # ------------------------------------------------------------------ #
+
+    def draw_spec(self) -> TransactionSpec:
+        """Draw kind, root, direction and depth for the next transaction."""
+        p = self.parameters
+        u = self._rng.random()
+        if u < p.p_set:
+            kind, depth = TransactionKind.SET, p.set_depth
+        elif u < p.p_set + p.p_simple:
+            kind, depth = TransactionKind.SIMPLE, p.simple_depth
+        elif u < p.p_set + p.p_simple + p.p_hierarchy:
+            kind, depth = TransactionKind.HIERARCHY, p.hierarchy_depth
+        else:
+            kind, depth = TransactionKind.STOCHASTIC, p.stochastic_depth
+
+        root = p.dist5.draw(self._rng, 1, self.database.num_objects)
+        reverse = (p.reverse_probability > 0.0
+                   and self._rng.random() < p.reverse_probability)
+        ref_type = None
+        if kind is TransactionKind.HIERARCHY:
+            ref_type = p.hierarchy_ref_type if p.hierarchy_ref_type is not None \
+                else self._rng.randint(
+                    1, self.database.parameters.num_ref_types)
+        return TransactionSpec(kind=kind, root=root, depth=depth,
+                               reverse=reverse, ref_type=ref_type,
+                               dedupe=p.dedupe_visits,
+                               max_visits=p.max_visits)
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+
+    def step(self, collector: MetricsCollector) -> None:
+        """Execute exactly one transaction (multi-client interleaving)."""
+        spec = self.draw_spec()
+        before = self.store.snapshot()
+        wall_start = time.perf_counter()
+        result = run_transaction(self.context, spec, self._rng)
+        wall = time.perf_counter() - wall_start
+        delta = self.store.snapshot() - before
+        collector.record(result, delta, wall)
+        think = self.parameters.think_time
+        if think > 0.0:
+            self.store.clock.advance(
+                think * self.store.cost_model.think_scale)
+        self._maybe_auto_reorganize()
+
+    def run_phase(self, name: str, transactions: int) -> PhaseReport:
+        """Run *transactions* transactions, collecting per-kind metrics."""
+        collector = MetricsCollector(name)
+        for _ in range(transactions):
+            self.step(collector)
+        return collector.report
+
+    def run(self) -> WorkloadReport:
+        """Execute the full protocol: cold run, then warm run."""
+        cold = self.run_phase("cold", self.parameters.cold_n)
+        warm = self.run_phase("warm", self.parameters.hot_n)
+        return WorkloadReport(cold=cold, warm=warm)
+
+    # ------------------------------------------------------------------ #
+    # Auto reorganization (policies with a trigger period)
+    # ------------------------------------------------------------------ #
+
+    def _maybe_auto_reorganize(self) -> None:
+        if not self.policy.wants_reorganization():
+            return
+        context = PlacementContext(sizes=self.database.record_sizes(),
+                                   page_size=self.store.page_size)
+        placement = self.policy.propose_placement(self.store.current_order(),
+                                                  context)
+        if placement is not None:
+            self.store.reorganize(placement.order,
+                                  aligned_groups=placement.aligned_groups)

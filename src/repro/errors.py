@@ -1,0 +1,61 @@
+"""Exception hierarchy for the OCB reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "GenerationError",
+    "StorageError",
+    "PageFull",
+    "UnknownObject",
+    "ClusteringError",
+    "WorkloadError",
+    "SimulationError",
+    "ReportingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A benchmark parameter is missing, out of range, or inconsistent."""
+
+
+class GenerationError(ReproError):
+    """Database generation could not complete (schema or instance phase)."""
+
+
+class StorageError(ReproError):
+    """The object store was asked to do something it cannot."""
+
+
+class PageFull(StorageError):
+    """An object does not fit in the remaining space of a page run."""
+
+
+class UnknownObject(StorageError, KeyError):
+    """An object id is not present in the store directory."""
+
+
+class ClusteringError(ReproError):
+    """A clustering policy was misused or produced an invalid placement."""
+
+
+class WorkloadError(ReproError):
+    """The workload runner hit an unrecoverable condition."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine detected an inconsistency."""
+
+
+class ReportingError(ReproError):
+    """Reporting helpers received malformed rows or series."""

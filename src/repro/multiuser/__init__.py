@@ -1,0 +1,16 @@
+"""Multi-user OCB: round-robin interleaving + queueing simulation."""
+
+from repro.multiuser.des import (
+    ClientTimings,
+    SimulatedMultiUser,
+    SimulatedRunReport,
+)
+from repro.multiuser.runner import MultiClientRunner, MultiUserReport
+
+__all__ = [
+    "MultiClientRunner",
+    "MultiUserReport",
+    "SimulatedMultiUser",
+    "SimulatedRunReport",
+    "ClientTimings",
+]

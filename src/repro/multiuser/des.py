@@ -1,0 +1,150 @@
+"""Queueing model of multi-user OCB on the discrete-event engine.
+
+The round-robin runner (:mod:`repro.multiuser.runner`) captures cache
+*pollution* between clients but not *contention delays*.  This module adds
+the queueing view the paper's QNAP2 port was built for: each client is a
+process that thinks, executes its transaction against the real store (to
+learn how many page I/Os it needs), then queues those I/Os on a shared
+disk server — so response times include waiting behind other clients.
+
+The model reports per-client response-time statistics, aggregate
+throughput, and disk utilisation, which is what one needs to study how
+clustering (fewer I/Os per transaction) translates into multi-user
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.core.database import OCBDatabase
+from repro.core.metrics import MetricsCollector
+from repro.core.parameters import WorkloadParameters
+from repro.core.workload import WorkloadRunner
+from repro.errors import WorkloadError
+from repro.sim.engine import Environment
+from repro.store.storage import ObjectStore
+
+__all__ = ["ClientTimings", "SimulatedRunReport", "SimulatedMultiUser"]
+
+
+@dataclass
+class ClientTimings:
+    """Response times of one simulated client."""
+
+    client_id: int
+    response_times: List[float] = field(default_factory=list)
+
+    @property
+    def transactions(self) -> int:
+        """Completed transactions."""
+        return len(self.response_times)
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time in simulated seconds."""
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times) / len(self.response_times)
+
+    @property
+    def max_response(self) -> float:
+        """Worst response time."""
+        return max(self.response_times) if self.response_times else 0.0
+
+
+@dataclass
+class SimulatedRunReport:
+    """Aggregate outcome of one simulated multi-user run."""
+
+    clients: List[ClientTimings]
+    makespan: float
+    disk_busy: float
+    total_ios: int
+
+    @property
+    def throughput(self) -> float:
+        """Transactions per simulated second."""
+        done = sum(c.transactions for c in self.clients)
+        return done / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time across every transaction of every client."""
+        times = [t for c in self.clients for t in c.response_times]
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def disk_utilisation(self) -> float:
+        """Fraction of the makespan the disk server was busy."""
+        return self.disk_busy / self.makespan if self.makespan > 0 else 0.0
+
+
+class SimulatedMultiUser:
+    """CLIENTN client processes contending for one disk server."""
+
+    def __init__(self, database: OCBDatabase, store: ObjectStore,
+                 parameters: WorkloadParameters,
+                 policy: Optional[ClusteringPolicy] = None,
+                 transactions_per_client: Optional[int] = None,
+                 disk_capacity: int = 1) -> None:
+        if parameters.clients < 1:
+            raise WorkloadError(f"need >= 1 client, got {parameters.clients}")
+        self.database = database
+        self.store = store
+        self.parameters = parameters
+        self.policy = policy or NoClustering()
+        self.transactions_per_client = (
+            transactions_per_client if transactions_per_client is not None
+            else parameters.hot_n)
+        self.disk_capacity = disk_capacity
+
+    def run(self) -> SimulatedRunReport:
+        """Simulate the run; returns timing/throughput statistics."""
+        env = Environment()
+        disk = env.resource(self.disk_capacity, name="disk")
+        cost = self.store.cost_model
+        timings = [ClientTimings(client_id=i)
+                   for i in range(self.parameters.clients)]
+        busy = [0.0]
+        total_ios = [0]
+
+        runners = [
+            WorkloadRunner(self.database, self.store, self.parameters,
+                           policy=self.policy, client_id=i)
+            for i in range(self.parameters.clients)]
+
+        def client(index: int):
+            runner = runners[index]
+            collector = MetricsCollector(f"client-{index}")
+            think = self.parameters.think_time
+            for _ in range(self.transactions_per_client):
+                if think > 0.0:
+                    yield env.timeout(think)
+                started = env.now
+                before = self.store.snapshot()
+                runner.step(collector)
+                delta = self.store.snapshot() - before
+                # CPU portion: charged without contention.
+                cpu = delta.object_accesses * cost.cpu_object_time
+                if cpu > 0.0:
+                    yield env.timeout(cpu)
+                # I/O portion: each page I/O queues on the shared disk.
+                ios = delta.total_ios
+                total_ios[0] += ios
+                for _ in range(ios):
+                    request = disk.request()
+                    yield request
+                    service = cost.io_read_time
+                    busy[0] += service
+                    yield env.timeout(service)
+                    disk.release()
+                timings[index].response_times.append(env.now - started)
+
+        for i in range(self.parameters.clients):
+            env.process(client(i))
+        makespan = env.run()
+        return SimulatedRunReport(clients=timings, makespan=makespan,
+                                  disk_busy=busy[0], total_ios=total_ios[0])

@@ -1,0 +1,94 @@
+"""Multi-user execution of the OCB workload.
+
+OCB's "last version ... also supports multiple users, in a very simple way
+(using processes), which is almost unique".  The reproduction offers the
+same capability, deterministically: ``CLIENTN`` clients, each with its own
+Lewis–Payne substream, interleave transactions round-robin against the
+*shared* store and buffer pool — so clients pollute each other's cache
+exactly as concurrent processes would on the paper's single-machine setup.
+
+(Queueing *delays* under contention are modelled separately by
+:mod:`repro.multiuser.des` on top of the discrete-event engine.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.core.database import OCBDatabase
+from repro.core.metrics import MetricsCollector, PhaseReport
+from repro.core.parameters import WorkloadParameters
+from repro.core.workload import WorkloadReport, WorkloadRunner
+from repro.errors import WorkloadError
+from repro.store.storage import ObjectStore
+
+__all__ = ["MultiUserReport", "MultiClientRunner"]
+
+
+@dataclass
+class MultiUserReport:
+    """Per-client and merged metrics of a multi-user run."""
+
+    clients: List[WorkloadReport] = field(default_factory=list)
+
+    @property
+    def merged_cold(self) -> PhaseReport:
+        """All clients' cold runs folded together."""
+        merged = PhaseReport(name="cold")
+        for report in self.clients:
+            merged.merge(report.cold)
+        return merged
+
+    @property
+    def merged_warm(self) -> PhaseReport:
+        """All clients' warm runs folded together."""
+        merged = PhaseReport(name="warm")
+        for report in self.clients:
+            merged.merge(report.warm)
+        return merged
+
+    @property
+    def client_count(self) -> int:
+        """Number of clients that ran."""
+        return len(self.clients)
+
+    @property
+    def warm_reads_per_transaction(self) -> float:
+        """Mean page reads per warm transaction across all clients."""
+        return self.merged_warm.totals.reads_per_transaction
+
+
+class MultiClientRunner:
+    """Round-robin interleaving of CLIENTN workload streams."""
+
+    def __init__(self, database: OCBDatabase, store: ObjectStore,
+                 parameters: WorkloadParameters,
+                 policy: Optional[ClusteringPolicy] = None) -> None:
+        if parameters.clients < 1:
+            raise WorkloadError(f"need >= 1 client, got {parameters.clients}")
+        self.database = database
+        self.store = store
+        self.parameters = parameters
+        self.policy = policy or NoClustering()
+        self._runners = [
+            WorkloadRunner(database, store, parameters, policy=self.policy,
+                           client_id=client)
+            for client in range(parameters.clients)]
+
+    def run(self) -> MultiUserReport:
+        """Interleave the cold runs, then the warm runs, transactionally."""
+        cold_collectors = [MetricsCollector("cold") for _ in self._runners]
+        warm_collectors = [MetricsCollector("warm") for _ in self._runners]
+
+        for _ in range(self.parameters.cold_n):
+            for runner, collector in zip(self._runners, cold_collectors):
+                runner.step(collector)
+        for _ in range(self.parameters.hot_n):
+            for runner, collector in zip(self._runners, warm_collectors):
+                runner.step(collector)
+
+        reports = [WorkloadReport(cold=c.report, warm=w.report)
+                   for c, w in zip(cold_collectors, warm_collectors)]
+        return MultiUserReport(clients=reports)

@@ -1,0 +1,172 @@
+"""Qualitative evaluation of clustering policies — the paper's last word.
+
+Section 5: *"though very important, performance is not the only factor to
+consider.  Functionality is also very significant ... we plan to work in
+this direction, and add a qualitative element into OCB, a bit the way
+[Kempe et al.] operated for the CAD-oriented OCAD benchmark.  For
+instance, we could evaluate if a clustering heuristic's parameters are
+easy to apprehend and set up, if the algorithm is easy to use, or
+transparent to the user."*
+
+This module implements that grid.  Each criterion is scored 0-4; some are
+derived automatically from the policy object (parameter count, whether it
+needs workload statistics, whether it can trigger itself), the rest come
+from a per-policy assessment.  The built-in assessments cover the
+policies shipped in :mod:`repro.clustering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.clustering.dro import DROPolicy
+from repro.clustering.dstc import DSTCPolicy
+from repro.clustering.placements import StaticPolicy
+from repro.errors import ParameterError
+from repro.reporting.tables import render_table
+
+__all__ = ["Criterion", "CRITERIA", "QualitativeAssessment",
+           "assess_policy", "render_assessments"]
+
+_SCALE = (0, 1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One qualitative criterion, scored 0 (poor) to 4 (excellent)."""
+
+    key: str
+    question: str
+
+
+#: The OCAD-inspired criteria grid (paper Section 5's examples + the
+#: operational ones any deployment asks about).
+CRITERIA: Tuple[Criterion, ...] = (
+    Criterion("parameter_simplicity",
+              "Are the heuristic's parameters easy to apprehend and set up?"),
+    Criterion("transparency",
+              "Is the algorithm transparent to the user/application?"),
+    Criterion("autonomy",
+              "Can it trigger reorganization itself (no DBA intervention)?"),
+    Criterion("bookkeeping_cost",
+              "How light is its run-time statistics gathering?"),
+    Criterion("adaptivity",
+              "Does it adapt when the access patterns change?"),
+    Criterion("predictability",
+              "Is its placement decision explainable/deterministic?"),
+)
+
+
+@dataclass
+class QualitativeAssessment:
+    """Scores of one policy over the criteria grid."""
+
+    policy_name: str
+    scores: Dict[str, int] = field(default_factory=dict)
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, value in self.scores.items():
+            if key not in {c.key for c in CRITERIA}:
+                raise ParameterError(f"unknown criterion {key!r}")
+            if value not in _SCALE:
+                raise ParameterError(
+                    f"score for {key!r} must be in {_SCALE}, got {value}")
+
+    @property
+    def total(self) -> int:
+        """Sum over all criteria (missing criteria count 0)."""
+        return sum(self.scores.get(c.key, 0) for c in CRITERIA)
+
+    def score(self, key: str) -> int:
+        """Score for one criterion (0 when unset)."""
+        return self.scores.get(key, 0)
+
+
+def _derived_scores(policy: ClusteringPolicy) -> Dict[str, int]:
+    """Scores computable from the policy object itself."""
+    scores: Dict[str, int] = {}
+
+    # parameter_simplicity: fewer tunables = simpler.
+    parameters = getattr(policy, "parameters", None)
+    if parameters is None:
+        scores["parameter_simplicity"] = 4
+    else:
+        count = len(getattr(parameters, "__dataclass_fields__", {}))
+        scores["parameter_simplicity"] = max(0, 4 - max(0, count - 2) // 2)
+
+    # transparency: does observe_access actually do anything?
+    observes = type(policy).observe_access is not \
+        ClusteringPolicy.observe_access
+    scores["transparency"] = 2 if observes else 4
+
+    # autonomy: can the policy self-trigger?
+    try:
+        can_trigger = (getattr(getattr(policy, "parameters", None),
+                               "trigger_period", None) is not None) or \
+            policy.wants_reorganization()
+    except Exception:  # pragma: no cover - defensive
+        can_trigger = False
+    trigger_field = hasattr(getattr(policy, "parameters", None),
+                            "trigger_period")
+    scores["autonomy"] = 4 if (can_trigger or trigger_field) else 1
+    return scores
+
+
+#: Hand-assessed scores for the criteria that need judgement.
+_JUDGED: Dict[type, Dict[str, int]] = {
+    NoClustering: {"bookkeeping_cost": 4, "adaptivity": 0,
+                   "predictability": 4},
+    StaticPolicy: {"bookkeeping_cost": 4, "adaptivity": 0,
+                   "predictability": 4},
+    DSTCPolicy: {"bookkeeping_cost": 1, "adaptivity": 4,
+                 "predictability": 2},
+    DROPolicy: {"bookkeeping_cost": 3, "adaptivity": 3,
+                "predictability": 3},
+}
+
+_JUDGED_NOTES: Dict[type, Dict[str, str]] = {
+    DSTCPolicy: {
+        "bookkeeping_cost": "full link-crossing matrices (O(edges crossed))",
+        "adaptivity": "aging consolidation tracks pattern drift",
+    },
+    DROPolicy: {
+        "bookkeeping_cost": "per-object heat + consecutive transitions only",
+    },
+    NoClustering: {"adaptivity": "never reorganizes"},
+    StaticPolicy: {"adaptivity": "structure only; blind to traffic"},
+}
+
+
+def assess_policy(policy: ClusteringPolicy) -> QualitativeAssessment:
+    """Build the qualitative assessment of a policy.
+
+    Derived criteria are computed from the object; judged criteria come
+    from the built-in grid (unknown policy types get judged criteria of 0
+    — callers can fill them in on the returned object).
+    """
+    scores = _derived_scores(policy)
+    notes: Dict[str, str] = {}
+    for policy_type, judged in _JUDGED.items():
+        if isinstance(policy, policy_type):
+            scores.update(judged)
+            notes.update(_JUDGED_NOTES.get(policy_type, {}))
+            break
+    return QualitativeAssessment(policy_name=policy.name, scores=scores,
+                                 notes=notes)
+
+
+def render_assessments(assessments: List[QualitativeAssessment]) -> str:
+    """Render the criteria grid as an ASCII table, one policy per column."""
+    if not assessments:
+        raise ParameterError("nothing to render")
+    headers = ["criterion"] + [a.policy_name for a in assessments]
+    rows = []
+    for criterion in CRITERIA:
+        rows.append([criterion.key] +
+                    [a.score(criterion.key) for a in assessments])
+    rows.append(["TOTAL"] + [a.total for a in assessments])
+    return render_table(headers, rows,
+                        title="Qualitative evaluation (0=poor .. 4=excellent)")

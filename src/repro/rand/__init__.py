@@ -1,0 +1,26 @@
+"""Random-number substrate: Lewis–Payne GFSR + OCB's DIST1..DIST5."""
+
+from repro.rand.lewis_payne import DEFAULT_SEED, LewisPayne
+from repro.rand.distributions import (
+    DISTRIBUTION_NAMES,
+    ConstantDistribution,
+    Distribution,
+    NormalDistribution,
+    SpecialDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    distribution_from_name,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "LewisPayne",
+    "Distribution",
+    "UniformDistribution",
+    "ConstantDistribution",
+    "NormalDistribution",
+    "ZipfDistribution",
+    "SpecialDistribution",
+    "distribution_from_name",
+    "DISTRIBUTION_NAMES",
+]

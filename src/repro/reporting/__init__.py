@@ -1,0 +1,20 @@
+"""Reporting helpers: ASCII tables, charts, CSV."""
+
+from repro.reporting.csvout import rows_to_csv, write_csv
+from repro.reporting.figures import (
+    Series,
+    render_line_chart,
+    render_series_table,
+)
+from repro.reporting.tables import format_cell, render_kv, render_table
+
+__all__ = [
+    "format_cell",
+    "render_table",
+    "render_kv",
+    "Series",
+    "render_line_chart",
+    "render_series_table",
+    "rows_to_csv",
+    "write_csv",
+]

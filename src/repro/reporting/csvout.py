@@ -1,0 +1,37 @@
+"""CSV output for benchmark results (EXPERIMENTS.md's raw data)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.errors import ReportingError
+
+__all__ = ["rows_to_csv", "write_csv"]
+
+
+def rows_to_csv(headers: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> str:
+    """Serialize rows to CSV text (RFC 4180 quoting, ``\\n`` line ends)."""
+    if not headers:
+        raise ReportingError("CSV needs at least one column")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReportingError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}")
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(path: Union[str, Path], headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> Path:
+    """Write rows to *path*; parent directories are created as needed."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rows_to_csv(headers, rows), encoding="utf-8")
+    return target

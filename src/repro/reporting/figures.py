@@ -1,0 +1,94 @@
+"""ASCII charts — enough to redraw the paper's Figure 4 in a terminal.
+
+Figure 4 plots database creation time against database size on log-log
+axes for three schema widths.  :func:`render_line_chart` reproduces that
+as a character raster; :func:`render_series_table` prints the underlying
+numbers (which is what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReportingError
+from repro.reporting.tables import render_table
+
+__all__ = ["Series", "render_line_chart", "render_series_table"]
+
+#: One plotted series: name -> [(x, y), ...]
+Series = Dict[str, List[Tuple[float, float]]]
+
+_MARKERS = "ox+*#@%"
+
+
+def _transform(value: float, log: bool) -> float:
+    if not log:
+        return value
+    if value <= 0:
+        raise ReportingError(f"log axis requires positive values, got {value}")
+    return math.log10(value)
+
+
+def render_line_chart(series: Series, width: int = 64, height: int = 20,
+                      log_x: bool = False, log_y: bool = False,
+                      title: Optional[str] = None,
+                      x_label: str = "x", y_label: str = "y") -> str:
+    """Scatter/line chart as an ASCII raster with per-series markers."""
+    if not series:
+        raise ReportingError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ReportingError("chart too small to be readable")
+
+    points = [(name, x, y) for name, pts in series.items() for x, y in pts]
+    if not points:
+        raise ReportingError("all series are empty")
+
+    xs = [_transform(x, log_x) for _, x, _ in points]
+    ys = [_transform(y, log_y) for _, _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            cx = int((_transform(x, log_x) - x_low) / x_span * (width - 1))
+            cy = int((_transform(y, log_y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - cy][cx] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(sorted(series)))
+    lines.append(f"[{y_label}{' (log)' if log_y else ''}]  {legend}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" [{x_label}{' (log)' if log_x else ''}]  "
+                 f"range {min(x for _, x, _ in points):g}"
+                 f"..{max(x for _, x, _ in points):g}")
+    return "\n".join(lines)
+
+
+def render_series_table(series: Series, x_header: str = "x",
+                        precision: int = 3,
+                        title: Optional[str] = None) -> str:
+    """Tabulate series against their union of x values."""
+    if not series:
+        raise ReportingError("nothing to tabulate")
+    names = sorted(series)
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {name: dict(pts) for name, pts in series.items()}
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in names:
+            value = lookup[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return render_table([x_header] + names, rows, title=title,
+                        precision=precision)

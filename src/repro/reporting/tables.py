@@ -1,0 +1,78 @@
+"""ASCII table rendering for benchmark reports.
+
+The harness prints each paper table next to the measured one; these
+helpers keep that output aligned, deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ReportingError
+
+__all__ = ["format_cell", "render_table", "render_kv"]
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    """Format one cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    if not headers:
+        raise ReportingError("a table needs at least one column")
+    width = len(headers)
+    text_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != width:
+            raise ReportingError(
+                f"row {row!r} has {len(row)} cells; expected {width}")
+        text_rows.append([format_cell(cell, precision) for cell in row])
+
+    widths = [len(str(h)) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def render_kv(pairs: Sequence[Sequence[Any]], title: Optional[str] = None,
+              precision: int = 3) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    if not pairs:
+        raise ReportingError("render_kv needs at least one pair")
+    key_width = max(len(str(k)) for k, _ in pairs)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for key, value in pairs:
+        out.append(f"  {str(key).ljust(key_width)} : "
+                   f"{format_cell(value, precision)}")
+    return "\n".join(out)

@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate (the paper's QNAP2-port analogue)."""
+
+from repro.sim.engine import Environment, Event, Process, Request, Resource, Timeout
+
+__all__ = ["Environment", "Event", "Process", "Request", "Resource", "Timeout"]

@@ -1,0 +1,226 @@
+"""A compact process-based discrete-event simulation engine.
+
+The paper reports that OCB "is also being ported into a simulation model
+designed with the QNAP2 simulation software" — a queueing-network tool.
+This module provides the equivalent substrate in Python: a future-event
+list, generator-based processes, and FIFO resources, in the style of
+(but independent from) SimPy.
+
+Processes are plain generator functions receiving the environment and
+yielding *events*:
+
+>>> def client(env):
+...     yield env.timeout(2.0)
+...     with_request = env.request(disk)      # Acquire a server slot.
+...     yield with_request
+...     yield env.timeout(0.010)              # Service time.
+...     env.release(disk)
+
+The engine is deterministic: simultaneous events fire in schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generator, Iterator, List, Optional
+
+from collections import deque
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout", "Request", "Resource", "Process", "Environment"]
+
+
+class Event:
+    """Something a process can wait on."""
+
+    __slots__ = ("env", "triggered", "value", "_waiters")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, resuming every waiting process."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.env._schedule(0.0, process)
+        self._waiters.clear()
+        return self
+
+    def _wait(self, process: "Process") -> None:
+        if self.triggered:
+            self.env._schedule(0.0, process)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        env._schedule(delay, self)
+
+
+class Request(Event):
+    """A pending acquisition of one :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A server pool with FIFO queueing (QNAP2 station equivalent)."""
+
+    def __init__(self, env: "Environment", capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: Deque[Request] = deque()
+        # Utilisation accounting.
+        self.total_wait = 0.0
+        self.total_served = 0
+        self._request_times: Dict[int, float] = {}
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        req = Request(self.env, self)
+        self._request_times[id(req)] = self.env.now
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return one slot, waking the next queued request if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._grant(nxt)
+        else:
+            self.in_use -= 1
+
+    def _grant(self, req: Request) -> None:
+        started = self._request_times.pop(id(req), self.env.now)
+        self.total_wait += self.env.now - started
+        self.total_served += 1
+        req.succeed()
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting."""
+        return len(self._queue)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay over granted requests."""
+        return self.total_wait / self.total_served if self.total_served else 0.0
+
+
+class Process(Event):
+    """A running generator; itself an event that fires at termination."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self.generator = generator
+        env._schedule(0.0, self)
+
+    def _step(self) -> None:
+        try:
+            target = self.generator.send(None)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}; expected an Event")
+        target._wait(self)
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    sequence: int
+    item: Any = field(compare=False)
+
+
+class Environment:
+    """The simulation clock and future-event list."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[_Scheduled] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # Event factories
+    # ------------------------------------------------------------------ #
+
+    def timeout(self, delay: float) -> Timeout:
+        """An event firing *delay* simulated seconds from now."""
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        """A bare event, fired manually via :meth:`Event.succeed`."""
+        return Event(self)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        """Create a FIFO resource bound to this environment."""
+        return Resource(self, capacity, name)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling & execution
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, delay: float, item: Any) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       _Scheduled(self.now + delay, self._sequence, item))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the horizon (or until the list drains)."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return self.now
+            entry = heapq.heappop(self._heap)
+            self.now = entry.time
+            item = entry.item
+            if isinstance(item, Process):
+                item._step()
+            elif isinstance(item, Timeout):
+                if not item.triggered:
+                    item.succeed()
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown scheduled item {item!r}")
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

@@ -1,0 +1,104 @@
+"""Summary statistics for benchmark runs.
+
+Benchmark papers report means; credible benchmark *tools* report
+dispersion too.  This module provides the small, dependency-free summary
+kit the reporting layer and downstream users need: mean, standard
+deviation, percentiles, and Student-t confidence intervals (the standard
+discipline for the 10-run protocols of OO1/HyperModel).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["Summary", "summarize", "percentile", "confidence_interval"]
+
+# Two-sided 95 % Student-t critical values for df = 1..30; beyond 30 the
+# normal approximation (1.96) is used.
+_T_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def _t_critical(df: int) -> float:
+    if df < 1:
+        raise ParameterError(f"degrees of freedom must be >= 1, got {df}")
+    return _T_95[df - 1] if df <= len(_T_95) else 1.96
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ParameterError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ParameterError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def confidence_interval(values: Sequence[float]) -> float:
+    """Half-width of the two-sided 95 % CI around the mean.
+
+    Returns 0.0 for fewer than two samples (no dispersion estimate).
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return _t_critical(n - 1) * math.sqrt(variance / n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one metric across runs."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    ci95: float
+
+    def describe(self, unit: str = "") -> str:
+        """One line: mean ± CI (min..max)."""
+        suffix = f" {unit}" if unit else ""
+        return (f"{self.mean:.3f} ± {self.ci95:.3f}{suffix} "
+                f"(min {self.minimum:.3f}, median {self.median:.3f}, "
+                f"p95 {self.p95:.3f}, max {self.maximum:.3f}, n={self.count})")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute the full :class:`Summary` of a non-empty sample."""
+    if not values:
+        raise ParameterError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        stdev = math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+    else:
+        stdev = 0.0
+    return Summary(count=n,
+                   mean=mean,
+                   stdev=stdev,
+                   minimum=float(min(values)),
+                   maximum=float(max(values)),
+                   median=percentile(values, 50.0),
+                   p95=percentile(values, 95.0),
+                   ci95=confidence_interval(values))

@@ -1,0 +1,82 @@
+"""Cost model and simulated clock for the persistent store.
+
+The paper measures Texas on a Sun SPARC/ELC (SunOS 4.3.1, 8 MB RAM, 4 KB
+disk pages).  We cannot re-run that hardware, so the store charges every
+operation against a :class:`CostModel` and accumulates *simulated time* on a
+:class:`SimClock`.  What matters for reproducing the paper's tables is the
+*ratio* structure — an I/O costs three to four orders of magnitude more than
+touching a resident object — and that is what the defaults encode:
+
+* one page read   ≈ 10 ms   (early-90s disk, seek + rotation + transfer),
+* one page write  ≈ 12 ms,
+* one in-memory object access ≈ 20 µs,
+* one pointer swizzle ≈ 2 µs (Texas swizzles on page load).
+
+All components of the store share one clock so that buffer misses, write
+backs, swizzling and CPU work compose into a single response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["CostModel", "SimClock", "DEFAULT_PAGE_SIZE"]
+
+#: Texas' page size on the paper's platform (Section 4.2).
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation simulated costs, in seconds.
+
+    The defaults mirror the paper's hardware era; every experiment can
+    override them (e.g. to model a modern SSD) without touching any other
+    component.
+    """
+
+    io_read_time: float = 0.010
+    io_write_time: float = 0.012
+    cpu_object_time: float = 20e-6
+    swizzle_time: float = 2e-6
+    think_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("io_read_time", "io_write_time", "cpu_object_time",
+                     "swizzle_time", "think_scale"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ParameterError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock shared by the store stack."""
+
+    now: float = 0.0
+    _marks: dict = field(default_factory=dict, repr=False)
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by *delta* seconds and return the new time."""
+        if delta < 0:
+            raise ParameterError(f"cannot advance clock by {delta} (< 0)")
+        self.now += delta
+        return self.now
+
+    def mark(self, label: str) -> None:
+        """Remember the current time under *label* (see :meth:`since`)."""
+        self._marks[label] = self.now
+
+    def since(self, label: str) -> float:
+        """Seconds elapsed since :meth:`mark` was called with *label*."""
+        try:
+            return self.now - self._marks[label]
+        except KeyError:
+            raise ParameterError(f"no clock mark named {label!r}") from None
+
+    def reset(self) -> None:
+        """Zero the clock and forget all marks."""
+        self.now = 0.0
+        self._marks.clear()

@@ -1,0 +1,104 @@
+"""Pointer-swizzling table, mirroring Texas' page-grain swizzling.
+
+Texas converts disk addresses to virtual-memory addresses when a page is
+faulted in, and back when the page is evicted.  The reproduction keeps an
+explicit table mapping object ids to synthetic "virtual addresses" for the
+objects whose pages are resident; the counters feed the cost model (each
+(un)swizzle charges :attr:`CostModel.swizzle_time`) and give the benchmark
+an additional metric that real persistent stores care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.store.costs import CostModel, SimClock
+
+__all__ = ["SwizzleStats", "SwizzleTable"]
+
+
+@dataclass
+class SwizzleStats:
+    """Counters of pointer (un)swizzling work."""
+
+    swizzled: int = 0
+    unswizzled: int = 0
+
+    def snapshot(self) -> "SwizzleStats":
+        """Immutable copy of the counters."""
+        return SwizzleStats(self.swizzled, self.unswizzled)
+
+    def __sub__(self, other: "SwizzleStats") -> "SwizzleStats":
+        return SwizzleStats(self.swizzled - other.swizzled,
+                            self.unswizzled - other.unswizzled)
+
+
+class SwizzleTable:
+    """Tracks which objects currently have in-memory (swizzled) pointers."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 clock: Optional[SimClock] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.clock = clock or SimClock()
+        self.stats = SwizzleStats()
+        self._addresses: Dict[int, int] = {}
+        self._by_page: Dict[int, Set[int]] = {}
+        self._next_address = 0x1000_0000  # Synthetic VM base, Texas-style.
+
+    def swizzle_in(self, page_id: int, oids: Iterable[int]) -> int:
+        """Swizzle the objects of a freshly loaded page; return count."""
+        bucket = self._by_page.setdefault(page_id, set())
+        count = 0
+        for oid in oids:
+            if oid in self._addresses:
+                bucket.add(oid)
+                continue
+            self._addresses[oid] = self._next_address
+            self._next_address += 0x10
+            bucket.add(oid)
+            count += 1
+        if count:
+            self.stats.swizzled += count
+            self.clock.advance(count * self.cost_model.swizzle_time)
+        return count
+
+    def unswizzle_page(self, page_id: int) -> int:
+        """Drop the mappings contributed by an evicted page; return count."""
+        bucket = self._by_page.pop(page_id, None)
+        if not bucket:
+            return 0
+        count = 0
+        for oid in bucket:
+            # An object spanning several pages stays swizzled while any of
+            # its pages is resident.
+            if any(oid in other for other in self._by_page.values()):
+                continue
+            self._addresses.pop(oid, None)
+            count += 1
+        if count:
+            self.stats.unswizzled += count
+            self.clock.advance(count * self.cost_model.swizzle_time)
+        return count
+
+    def address_of(self, oid: int) -> Optional[int]:
+        """Synthetic virtual address of *oid*, or ``None`` if unswizzled."""
+        return self._addresses.get(oid)
+
+    def is_swizzled(self, oid: int) -> bool:
+        """Whether *oid* currently has an in-memory address."""
+        return oid in self._addresses
+
+    @property
+    def resident_count(self) -> int:
+        """Number of objects currently swizzled."""
+        return len(self._addresses)
+
+    def clear(self) -> None:
+        """Forget every mapping (store rebuild)."""
+        self._addresses.clear()
+        self._by_page.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters."""
+        self.stats = SwizzleStats()

@@ -1,0 +1,57 @@
+"""Policy interface and NoClustering baseline tests."""
+
+from __future__ import annotations
+
+from repro.clustering.base import (
+    NoClustering,
+    Placement,
+    PlacementContext,
+)
+
+
+class TestPlacementContext:
+    def test_size_lookup(self):
+        ctx = PlacementContext(sizes={1: 100}, page_size=4096)
+        assert ctx.size_of(1) == 100
+
+    def test_size_default(self):
+        ctx = PlacementContext()
+        assert ctx.size_of(99) == 64
+        assert ctx.size_of(99, default=10) == 10
+
+    def test_default_page_size(self):
+        assert PlacementContext().page_size == 4096
+
+
+class TestNoClustering:
+    def test_never_proposes(self):
+        policy = NoClustering()
+        assert policy.propose_order([1, 2], PlacementContext()) is None
+        assert policy.propose_placement([1, 2], PlacementContext()) is None
+
+    def test_never_wants_reorganization(self):
+        policy = NoClustering()
+        policy.observe_access(1, 2, 3)
+        policy.on_transaction_end()
+        assert not policy.wants_reorganization()
+
+    def test_observation_hooks_are_noops(self):
+        policy = NoClustering()
+        policy.observe_access(None, 1)
+        policy.reset_observations()  # Must not raise.
+
+    def test_describe(self):
+        assert NoClustering().describe() == "none"
+
+
+class TestDefaultProposePlacement:
+    def test_wraps_propose_order(self):
+        class FixedPolicy(NoClustering):
+            def propose_order(self, current_order, context):
+                return list(reversed(current_order))
+
+        placement = FixedPolicy().propose_placement([1, 2, 3],
+                                                    PlacementContext())
+        assert isinstance(placement, Placement)
+        assert placement.order == [3, 2, 1]
+        assert placement.aligned_groups is None

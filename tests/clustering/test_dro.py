@@ -1,0 +1,114 @@
+"""DRO-style policy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.base import PlacementContext
+from repro.clustering.dro import DROParameters, DROPolicy
+from repro.errors import ParameterError
+
+
+def make_policy(**overrides):
+    defaults = dict(min_heat=2, min_transition=1)
+    defaults.update(overrides)
+    return DROPolicy(DROParameters(**defaults))
+
+
+def run_transaction(policy, path):
+    for oid in path:
+        policy.observe_access(None, oid, None)
+    policy.on_transaction_end()
+
+
+class TestParameters:
+    @pytest.mark.parametrize("field,value", [
+        ("min_heat", 0),
+        ("min_transition", 0),
+        ("max_run_bytes", 0),
+        ("decay", 0.0),
+        ("decay", 1.5),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ParameterError):
+            DROParameters(**{field: value})
+
+
+class TestObservation:
+    def test_heat_accumulates(self):
+        policy = make_policy()
+        run_transaction(policy, [1, 2, 1])
+        assert policy.heat_of(1) == 2.0
+        assert policy.heat_of(2) == 1.0
+
+    def test_transitions_within_transaction(self):
+        policy = make_policy()
+        run_transaction(policy, [1, 2, 3])
+        assert policy.tracked_transitions == 2
+
+    def test_transitions_do_not_span_transactions(self):
+        policy = make_policy()
+        run_transaction(policy, [1])
+        run_transaction(policy, [2])
+        assert policy.tracked_transitions == 0
+
+    def test_decay_applied_per_transaction(self):
+        policy = make_policy(decay=0.5)
+        run_transaction(policy, [1, 1])
+        assert policy.heat_of(1) == pytest.approx(1.0)  # 2 * 0.5.
+
+    def test_reset(self):
+        policy = make_policy()
+        run_transaction(policy, [1, 2])
+        policy.reset_observations()
+        assert policy.tracked_objects == 0
+        assert policy.tracked_transitions == 0
+
+
+class TestPlacement:
+    def context(self):
+        return PlacementContext(sizes={oid: 40 for oid in range(1, 30)},
+                                page_size=160)
+
+    def test_cold_database_no_placement(self):
+        policy = make_policy()
+        assert policy.propose_order([1, 2, 3], self.context()) is None
+
+    def test_hot_chain_clusters_in_order(self):
+        policy = make_policy(min_heat=2, min_transition=2)
+        run_transaction(policy, [5, 6, 7])
+        run_transaction(policy, [5, 6, 7])
+        order = policy.propose_order(list(range(1, 10)), self.context())
+        assert order is not None
+        assert order[:3] == [5, 6, 7]
+
+    def test_result_is_permutation(self):
+        policy = make_policy(min_heat=1)
+        run_transaction(policy, [3, 1, 4, 1, 5])
+        current = list(range(1, 10))
+        order = policy.propose_order(current, self.context())
+        assert order is not None
+        assert sorted(order) == current
+
+    def test_run_respects_byte_budget(self):
+        policy = make_policy(min_heat=2, min_transition=2)
+        path = [1, 2, 3, 4, 5, 6, 7, 8]
+        run_transaction(policy, path)
+        run_transaction(policy, path)
+        order = policy.propose_order(list(range(1, 12)),
+                                     self.context())  # 160 B = 4 objects.
+        assert order is not None
+        # The first run is budget-bounded; the chain restarts afterwards.
+        assert order[:4] == [1, 2, 3, 4]
+
+    def test_heat_orders_seeds(self):
+        policy = make_policy(min_heat=1, min_transition=5)
+        run_transaction(policy, [9])
+        run_transaction(policy, [9])
+        run_transaction(policy, [2])
+        order = policy.propose_order(list(range(1, 12)), self.context())
+        assert order is not None
+        assert order[0] == 9  # Hottest seed first.
+
+    def test_describe(self):
+        assert "DRO" in make_policy().describe()

@@ -1,0 +1,245 @@
+"""DSTC policy tests: observation, selection, consolidation, units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.base import PlacementContext
+from repro.clustering.dstc import ClusteringUnit, DSTCParameters, DSTCPolicy
+from repro.errors import ParameterError
+
+
+def make_policy(**overrides):
+    defaults = dict(observation_period=10, selection_threshold=1,
+                    consolidation_weight=1.0, unit_weight_threshold=1.0)
+    defaults.update(overrides)
+    return DSTCPolicy(DSTCParameters(**defaults))
+
+
+def observe_sequence(policy, pairs, repeats=1):
+    for _ in range(repeats):
+        for src, dst in pairs:
+            policy.observe_access(src, dst, None)
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        DSTCParameters()
+
+    @pytest.mark.parametrize("field,value", [
+        ("observation_period", 0),
+        ("selection_threshold", 0),
+        ("consolidation_weight", 1.5),
+        ("consolidation_weight", -0.1),
+        ("unit_weight_threshold", -1.0),
+        ("max_unit_bytes", 0),
+        ("max_units", 0),
+        ("trigger_period", 0),
+        ("unit_strategy", "magic"),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ParameterError):
+            DSTCParameters(**{field: value})
+
+
+class TestObservation:
+    def test_root_accesses_ignored(self):
+        policy = make_policy()
+        policy.observe_access(None, 5, None)
+        assert policy.observation_size == 0
+
+    def test_self_links_ignored(self):
+        policy = make_policy()
+        policy.observe_access(5, 5, None)
+        assert policy.observation_size == 0
+
+    def test_link_crossings_counted(self):
+        policy = make_policy()
+        observe_sequence(policy, [(1, 2), (1, 2), (2, 3)])
+        assert policy.observation_size == 2
+
+    def test_period_flushes_to_consolidated(self):
+        policy = make_policy(observation_period=2)
+        observe_sequence(policy, [(1, 2)])
+        policy.on_transaction_end()
+        assert policy.consolidated_size == 0
+        policy.on_transaction_end()  # Period boundary.
+        assert policy.consolidated_size == 1
+        assert policy.observation_size == 0
+
+
+class TestSelection:
+    def test_threshold_filters_rare_pairs(self):
+        policy = make_policy(selection_threshold=3, observation_period=1)
+        observe_sequence(policy, [(1, 2)], repeats=3)
+        observe_sequence(policy, [(3, 4)], repeats=2)
+        policy.on_transaction_end()
+        assert policy.consolidated_weight(1, 2) == 3.0
+        assert policy.consolidated_weight(3, 4) == 0.0
+
+
+class TestConsolidation:
+    def test_aging_weight_applied(self):
+        policy = make_policy(observation_period=1, consolidation_weight=0.5)
+        observe_sequence(policy, [(1, 2)], repeats=4)
+        policy.on_transaction_end()            # consolidated = 4.
+        observe_sequence(policy, [(1, 2)], repeats=2)
+        policy.on_transaction_end()            # 0.5*4 + 2 = 4.
+        assert policy.consolidated_weight(1, 2) == pytest.approx(4.0)
+
+    def test_flush_observations_is_idempotent(self):
+        policy = make_policy()
+        observe_sequence(policy, [(1, 2)])
+        policy.flush_observations()
+        value = policy.consolidated_weight(1, 2)
+        policy.flush_observations()
+        assert policy.consolidated_weight(1, 2) == value
+
+
+class TestUnits:
+    def context(self, size=50, page=200):
+        sizes = {oid: size for oid in range(1, 100)}
+        return PlacementContext(sizes=sizes, page_size=page)
+
+    def test_no_statistics_no_units(self):
+        policy = make_policy()
+        assert policy.build_units(self.context()) == []
+
+    def test_pairs_form_units(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2), (3, 4)], repeats=2)
+        policy.on_transaction_end()
+        units = policy.build_units(self.context())
+        members = sorted(tuple(sorted(u.members)) for u in units)
+        assert members == [(1, 2), (3, 4)]
+
+    def test_unit_respects_byte_budget(self):
+        policy = make_policy(observation_period=1)
+        # A chain 1-2-3-4-5-6 of heavy links; budget fits 4 objects.
+        chain = [(i, i + 1) for i in range(1, 6)]
+        observe_sequence(policy, chain, repeats=3)
+        policy.on_transaction_end()
+        units = policy.build_units(self.context(size=50, page=200))
+        for unit in units:
+            assert sum(50 for _ in unit.members) <= 200
+
+    def test_component_walk_strategy_covers_component(self):
+        policy = make_policy(observation_period=1,
+                             unit_strategy="component-walk")
+        chain = [(i, i + 1) for i in range(1, 6)]
+        observe_sequence(policy, chain, repeats=3)
+        policy.on_transaction_end()
+        units = policy.build_units(self.context(size=50, page=200))
+        covered = sorted(m for u in units for m in u.members)
+        assert covered == [1, 2, 3, 4, 5, 6]
+
+    def test_heavier_links_cluster_first(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2)], repeats=10)   # Hot pair.
+        observe_sequence(policy, [(2, 3)], repeats=1)    # Weak link.
+        observe_sequence(policy, [(3, 4)], repeats=10)   # Hot pair.
+        policy.on_transaction_end()
+        # Budget of 2 objects: hot pairs must win the merges.
+        units = policy.build_units(self.context(size=50, page=100))
+        members = sorted(tuple(sorted(u.members)) for u in units)
+        assert (1, 2) in members
+        assert (3, 4) in members
+
+    def test_max_units_cap(self):
+        policy = make_policy(observation_period=1, max_units=1)
+        observe_sequence(policy, [(1, 2), (3, 4)], repeats=2)
+        policy.on_transaction_end()
+        assert len(policy.build_units(self.context())) == 1
+
+    def test_unit_weight_threshold_filters(self):
+        policy = make_policy(observation_period=1, unit_weight_threshold=5.0)
+        observe_sequence(policy, [(1, 2)], repeats=2)
+        policy.on_transaction_end()
+        assert policy.build_units(self.context()) == []
+
+
+class TestPlacement:
+    def context(self):
+        return PlacementContext(sizes={oid: 40 for oid in range(1, 20)},
+                                page_size=120)
+
+    def test_no_units_no_placement(self):
+        policy = make_policy()
+        assert policy.propose_placement([1, 2, 3], self.context()) is None
+        assert policy.propose_order([1, 2, 3], self.context()) is None
+
+    def test_placement_is_permutation(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2), (2, 3), (5, 6)], repeats=2)
+        policy.on_transaction_end()
+        current = list(range(1, 10))
+        placement = policy.propose_placement(current, self.context())
+        assert placement is not None
+        assert sorted(placement.order) == current
+
+    def test_clustered_objects_lead(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(7, 8)], repeats=3)
+        policy.on_transaction_end()
+        placement = policy.propose_placement(list(range(1, 10)),
+                                             self.context())
+        assert placement is not None
+        assert set(placement.order[:2]) == {7, 8}
+
+    def test_groups_cover_clustered_prefix(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2), (4, 5)], repeats=2)
+        policy.on_transaction_end()
+        placement = policy.propose_placement(list(range(1, 10)),
+                                             self.context())
+        assert placement is not None
+        grouped = [oid for group in placement.aligned_groups for oid in group]
+        assert placement.order[:len(grouped)] == grouped
+
+    def test_objects_absent_from_store_are_skipped(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2), (98, 99)], repeats=2)
+        policy.on_transaction_end()
+        placement = policy.propose_placement([1, 2, 3], self.context())
+        assert placement is not None
+        assert sorted(placement.order) == [1, 2, 3]
+
+    def test_reorganization_counter(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2)], repeats=2)
+        policy.on_transaction_end()
+        policy.propose_placement([1, 2, 3], self.context())
+        assert policy.reorganizations == 1
+
+
+class TestTrigger:
+    def test_no_trigger_by_default(self):
+        policy = make_policy()
+        observe_sequence(policy, [(1, 2)], repeats=5)
+        for _ in range(50):
+            policy.on_transaction_end()
+        assert not policy.wants_reorganization()
+
+    def test_trigger_period(self):
+        policy = make_policy(observation_period=1, trigger_period=3)
+        observe_sequence(policy, [(1, 2)], repeats=2)
+        policy.on_transaction_end()
+        assert not policy.wants_reorganization()
+        policy.on_transaction_end()
+        policy.on_transaction_end()
+        assert policy.wants_reorganization()
+
+    def test_reset_observations(self):
+        policy = make_policy(observation_period=1)
+        observe_sequence(policy, [(1, 2)], repeats=2)
+        policy.on_transaction_end()
+        policy.reset_observations()
+        assert policy.observation_size == 0
+        assert policy.consolidated_size == 0
+
+
+class TestDescribe:
+    def test_mentions_thresholds(self):
+        text = make_policy().describe()
+        assert "DSTC" in text
+        assert "Tfa" in text

@@ -1,0 +1,129 @@
+"""Static placement strategy tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.base import PlacementContext
+from repro.clustering.placements import (
+    PLACEMENT_STRATEGIES,
+    StaticPolicy,
+    breadth_first_order,
+    by_class_order,
+    depth_first_order,
+    placement_from_name,
+    sequential_order,
+)
+from repro.errors import ClusteringError
+from repro.store.serializer import StoredObject
+
+
+def chain_records():
+    """1 -> 2 -> 3 -> 4, plus isolated 5; classes alternate."""
+    return {
+        1: StoredObject(oid=1, cid=1, refs=(2,)),
+        2: StoredObject(oid=2, cid=2, refs=(3,)),
+        3: StoredObject(oid=3, cid=1, refs=(4,)),
+        4: StoredObject(oid=4, cid=2, refs=()),
+        5: StoredObject(oid=5, cid=1, refs=()),
+    }
+
+
+def tree_records():
+    """1 -> (2, 3); 2 -> (4, 5); 3 -> (6, 7)."""
+    return {
+        1: StoredObject(oid=1, cid=1, refs=(2, 3)),
+        2: StoredObject(oid=2, cid=1, refs=(4, 5)),
+        3: StoredObject(oid=3, cid=1, refs=(6, 7)),
+        4: StoredObject(oid=4, cid=1, refs=()),
+        5: StoredObject(oid=5, cid=1, refs=()),
+        6: StoredObject(oid=6, cid=1, refs=()),
+        7: StoredObject(oid=7, cid=1, refs=()),
+    }
+
+
+class TestSequential:
+    def test_oid_order(self):
+        assert sequential_order(chain_records()) == [1, 2, 3, 4, 5]
+
+
+class TestByClass:
+    def test_groups_by_class(self):
+        order = by_class_order(chain_records())
+        assert order == [1, 3, 5, 2, 4]
+
+
+class TestDepthFirst:
+    def test_follows_first_reference_first(self):
+        order = depth_first_order(tree_records(), roots=[1])
+        assert order == [1, 2, 4, 5, 3, 6, 7]
+
+    def test_unreachable_appended(self):
+        order = depth_first_order(chain_records(), roots=[1])
+        assert order[:4] == [1, 2, 3, 4]
+        assert order[4] == 5
+
+    def test_cycle_terminates(self):
+        records = {
+            1: StoredObject(oid=1, cid=1, refs=(2,)),
+            2: StoredObject(oid=2, cid=1, refs=(1,)),
+        }
+        assert depth_first_order(records) == [1, 2]
+
+    def test_dangling_reference_ignored(self):
+        records = {1: StoredObject(oid=1, cid=1, refs=(42,))}
+        assert depth_first_order(records) == [1]
+
+
+class TestBreadthFirst:
+    def test_level_order(self):
+        order = breadth_first_order(tree_records(), roots=[1])
+        assert order == [1, 2, 3, 4, 5, 6, 7]
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in PLACEMENT_STRATEGIES:
+            assert placement_from_name(name) is PLACEMENT_STRATEGIES[name]
+
+    def test_unknown_name(self):
+        with pytest.raises(ClusteringError):
+            placement_from_name("chaotic")
+
+
+class TestStaticPolicy:
+    def test_proposes_permutation(self):
+        records = tree_records()
+        policy = StaticPolicy(records, strategy="depth_first")
+        current = sorted(records)
+        proposed = policy.propose_order(current, PlacementContext())
+        assert sorted(proposed) == current
+
+    def test_restricts_to_current_objects(self):
+        records = tree_records()
+        policy = StaticPolicy(records, strategy="breadth_first")
+        current = [1, 2, 3]  # Store holds a subset.
+        proposed = policy.propose_order(current, PlacementContext())
+        assert sorted(proposed) == current
+
+    def test_name_includes_strategy(self):
+        policy = StaticPolicy(tree_records(), strategy="by_class")
+        assert "by_class" in policy.name
+        assert "by_class" in policy.describe()
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=1, max_value=25),
+       edges=st.data(),
+       name=st.sampled_from(sorted(PLACEMENT_STRATEGIES)))
+def test_every_strategy_returns_permutation(n, edges, name):
+    records = {}
+    for oid in range(1, n + 1):
+        targets = edges.draw(st.lists(
+            st.integers(min_value=1, max_value=n), max_size=3))
+        records[oid] = StoredObject(oid=oid, cid=1 + oid % 4,
+                                    refs=tuple(targets))
+    order = placement_from_name(name)(records)
+    assert sorted(order) == sorted(records)

@@ -1,0 +1,95 @@
+"""DSTC-CluB before/after protocol tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.base import NoClustering
+from repro.clustering.dstc import DSTCParameters, DSTCPolicy
+from repro.comparators.dstc_club import DSTCClubBenchmark, DSTCClubResult
+from repro.comparators.oo1 import OO1Parameters, OO1RunResult
+from repro.errors import WorkloadError
+from repro.store.storage import StoreConfig
+
+
+def make_club(transactions=8, policy=None):
+    return DSTCClubBenchmark(
+        parameters=OO1Parameters(num_parts=800, ref_zone=8,
+                                 traversal_depth=3, seed=21),
+        store_config=StoreConfig(page_size=512, buffer_pages=48),
+        policy=policy or DSTCPolicy(DSTCParameters(
+            observation_period=transactions, selection_threshold=1,
+            unit_weight_threshold=1.0)),
+        transactions=transactions,
+        warmup=2)
+
+
+class TestProtocol:
+    def test_setup_builds_store(self):
+        club = make_club()
+        database, store = club.setup()
+        assert store.object_count == len(database.records)
+
+    def test_run_produces_before_and_after(self):
+        result = make_club().run()
+        assert len(result.before_runs) == 8
+        assert len(result.after_runs) == 8
+        assert result.reorganization is not None
+
+    def test_clustering_wins_on_traversal_workload(self):
+        result = make_club().run()
+        assert result.gain_factor > 1.0
+        assert result.ios_after < result.ios_before
+
+    def test_replay_uses_identical_roots(self):
+        result = make_club().run()
+        before_visits = [r.objects_accessed for r in result.before_runs]
+        after_visits = [r.objects_accessed for r in result.after_runs]
+        assert before_visits == after_visits
+
+    def test_no_clustering_policy_short_circuits(self):
+        result = make_club(policy=NoClustering()).run()
+        assert result.after_runs == []
+        assert result.reorganization is None
+        assert result.gain_factor == 1.0
+
+    def test_transactions_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            DSTCClubBenchmark(transactions=0)
+
+    def test_describe(self):
+        result = make_club().run()
+        text = result.describe()
+        assert "I/Os before" in text
+        assert "gain" in text
+
+
+class TestResultArithmetic:
+    def run_result(self, reads):
+        return OO1RunResult(operation="traversal", objects_accessed=1,
+                            io_reads=reads, io_writes=0,
+                            sim_seconds=0.0, wall_seconds=0.0)
+
+    def test_means(self):
+        result = DSTCClubResult(
+            label="x",
+            before_runs=[self.run_result(10), self.run_result(20)],
+            after_runs=[self.run_result(5)],
+            reorganization=None)
+        assert result.ios_before == 15.0
+        assert result.ios_after == 5.0
+        assert result.gain_factor == 3.0
+
+    def test_zero_after_is_infinite_gain(self):
+        result = DSTCClubResult(
+            label="x",
+            before_runs=[self.run_result(10)],
+            after_runs=[self.run_result(0)],
+            reorganization=None)
+        assert result.gain_factor == float("inf")
+
+    def test_empty_runs(self):
+        result = DSTCClubResult(label="x", before_runs=[], after_runs=[],
+                                reorganization=None)
+        assert result.ios_before == 0.0
+        assert result.gain_factor == 1.0

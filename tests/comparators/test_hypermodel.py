@@ -1,0 +1,140 @@
+"""HyperModel benchmark tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparators.hypermodel import (
+    HYPERMODEL_OPERATIONS,
+    PARENT_SLOTS,
+    PART_SLOT,
+    REF_TO_SLOT,
+    HyperModelBenchmark,
+    HyperModelDatabase,
+    HyperModelParameters,
+    build_hypermodel_store,
+)
+from repro.errors import ParameterError, WorkloadError
+from repro.store.storage import StoreConfig
+
+
+@pytest.fixture(scope="module")
+def small_hm():
+    database = HyperModelDatabase(HyperModelParameters(
+        levels=4, fan_out=3, inputs=10, closure_depth=2, seed=17))
+    database.build()
+    return database
+
+
+def fresh_bench(database):
+    store = StoreConfig(page_size=512, buffer_pages=32).build()
+    store.bulk_load(list(database.records.values()),
+                    order=sorted(database.records))
+    store.reset_stats()
+    return HyperModelBenchmark(database, store)
+
+
+class TestParameters:
+    def test_num_nodes_geometric(self):
+        assert HyperModelParameters(levels=5, fan_out=5).num_nodes == 781
+        assert HyperModelParameters(levels=6, fan_out=5).num_nodes == 3906
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HyperModelParameters(levels=0)
+        with pytest.raises(ParameterError):
+            HyperModelParameters(range_width=0)
+
+
+class TestDatabase:
+    def test_node_count(self, small_hm):
+        assert len(small_hm.records) == 40  # 1 + 3 + 9 + 27.
+
+    def test_aggregation_hierarchy_children(self, small_hm):
+        root = small_hm.records[1]
+        children = [root.refs[slot] for slot in range(3)]
+        assert children == [2, 3, 4]
+
+    def test_leaves_have_no_children(self, small_hm):
+        leaf = small_hm.records[40]
+        assert all(leaf.refs[slot] is None for slot in range(PARENT_SLOTS))
+
+    def test_part_of_links_point_backwards(self, small_hm):
+        for oid, record in small_hm.records.items():
+            anchor = record.refs[PART_SLOT]
+            if oid == 1:
+                assert anchor is None
+            else:
+                assert anchor is not None and anchor < oid
+
+    def test_ref_to_never_self(self, small_hm):
+        for oid, record in small_hm.records.items():
+            assert record.refs[REF_TO_SLOT] != oid
+
+    def test_attributes_are_a_permutation(self, small_hm):
+        uniques = sorted(a.unique_id for a in small_hm.attributes.values())
+        assert uniques == sorted(small_hm.node_oids)
+
+    def test_attribute_moduli(self, small_hm):
+        for attrs in small_hm.attributes.values():
+            assert attrs.hundred == attrs.unique_id % 100
+            assert attrs.thousand == attrs.unique_id % 1000
+
+    def test_range_index(self, small_hm):
+        matches = small_hm.nodes_with_hundred_in(0, 9)
+        for oid in matches:
+            assert small_hm.attributes[oid].hundred <= 9
+
+
+class TestOperations:
+    def test_all_operations_run(self, small_hm):
+        bench = fresh_bench(small_hm)
+        reports = bench.run_all()
+        assert set(reports) == set(HYPERMODEL_OPERATIONS)
+        for report in reports.values():
+            assert report.inputs >= 1
+            assert report.cold_seconds >= 0.0
+
+    def test_warm_run_faster_or_equal_io(self, small_hm):
+        bench = fresh_bench(small_hm)
+        report = bench.run_operation("nameLookup")
+        assert report.warm_reads <= report.cold_reads
+
+    def test_seq_scan_touches_every_node(self, small_hm):
+        bench = fresh_bench(small_hm)
+        before = bench.store.snapshot()
+        report = bench.run_operation("seqScan")
+        delta = bench.store.snapshot() - before
+        # Two passes (cold + warm) over 40 nodes.
+        assert delta.object_accesses == 80
+
+    def test_editing_commits_writes(self, small_hm):
+        bench = fresh_bench(small_hm)
+        report = bench.run_operation("editing")
+        assert bench.store.snapshot().io_writes > 0
+
+    def test_unknown_operation(self, small_hm):
+        bench = fresh_bench(small_hm)
+        with pytest.raises(WorkloadError):
+            bench.run_operation("teleport")
+
+    def test_closure_traversal_respects_depth(self, small_hm):
+        bench = fresh_bench(small_hm)
+        before = bench.store.snapshot()
+        bench._closure_traversal(1)
+        delta = bench.store.snapshot() - before
+        # Depth 2 from the root: 1 + 3 + 9 accesses.
+        assert delta.object_accesses == 13
+
+    def test_empty_store_rejected(self, small_hm):
+        store = StoreConfig(buffer_pages=4).build()
+        with pytest.raises(WorkloadError):
+            HyperModelBenchmark(small_hm, store)
+
+
+class TestBuildHelper:
+    def test_build_hypermodel_store(self):
+        database, store = build_hypermodel_store(
+            HyperModelParameters(levels=3, fan_out=2, seed=1),
+            StoreConfig(page_size=256, buffer_pages=8))
+        assert store.object_count == 7  # 1 + 2 + 4.

@@ -1,0 +1,157 @@
+"""OO1 benchmark tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparators.oo1 import (
+    CONNECTION_CLASS,
+    PART_CLASS,
+    OO1Benchmark,
+    OO1Database,
+    OO1Parameters,
+    build_oo1_store,
+)
+from repro.errors import ParameterError
+from repro.store.storage import StoreConfig
+
+
+@pytest.fixture(scope="module")
+def small_oo1():
+    params = OO1Parameters(num_parts=300, ref_zone=10, traversal_depth=3,
+                           lookups_per_run=50, inserts_per_run=5, runs=2,
+                           seed=5)
+    database = OO1Database(params)
+    database.build()
+    return database
+
+
+def fresh_store(database):
+    store = StoreConfig(page_size=512, buffer_pages=16).build()
+    store.bulk_load(list(database.records.values()),
+                    order=sorted(database.records))
+    store.reset_stats()
+    return store
+
+
+class TestParameters:
+    def test_default_ref_zone_is_one_percent(self):
+        assert OO1Parameters(num_parts=20000).effective_ref_zone == 200
+
+    def test_explicit_ref_zone(self):
+        assert OO1Parameters(ref_zone=42).effective_ref_zone == 42
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OO1Parameters(num_parts=1)
+        with pytest.raises(ParameterError):
+            OO1Parameters(locality_probability=2.0)
+        with pytest.raises(ParameterError):
+            OO1Parameters(runs=0)
+
+
+class TestDatabase:
+    def test_population(self, small_oo1):
+        p = small_oo1.parameters
+        assert len(small_oo1.part_oids) == p.num_parts
+        assert len(small_oo1.connection_oids) == \
+            p.num_parts * p.connections_per_part
+        assert len(small_oo1.records) == \
+            p.num_parts * (1 + p.connections_per_part)
+
+    def test_classes(self, small_oo1):
+        for oid in small_oo1.part_oids:
+            assert small_oo1.records[oid].cid == PART_CLASS
+        for oid in small_oo1.connection_oids:
+            assert small_oo1.records[oid].cid == CONNECTION_CLASS
+
+    def test_every_part_has_three_connections(self, small_oo1):
+        for oid in small_oo1.part_oids:
+            refs = small_oo1.records[oid].non_null_refs()
+            assert len(refs) == 3
+            assert all(small_oo1.records[c].cid == CONNECTION_CLASS
+                       for c in refs)
+
+    def test_connections_reference_to_and_from(self, small_oo1):
+        for oid in small_oo1.connection_oids:
+            to_part, from_part = small_oo1.records[oid].refs
+            assert small_oo1.records[to_part].cid == PART_CLASS
+            assert small_oo1.records[from_part].cid == PART_CLASS
+
+    def test_locality_of_reference(self, small_oo1):
+        inside = 0
+        total = 0
+        index_of = {oid: i for i, oid in enumerate(small_oo1.part_oids)}
+        for conn_oid in small_oo1.connection_oids:
+            to_part, from_part = small_oo1.records[conn_oid].refs
+            total += 1
+            if abs(index_of[to_part] - index_of[from_part]) <= 10:
+                inside += 1
+        assert inside / total > 0.82  # 90% nominal, finite-sample slack.
+
+    def test_build_is_idempotent(self, small_oo1):
+        count = len(small_oo1.records)
+        small_oo1.build()
+        assert len(small_oo1.records) == count
+
+    def test_deterministic(self):
+        a = OO1Database(OO1Parameters(num_parts=100, seed=1))
+        b = OO1Database(OO1Parameters(num_parts=100, seed=1))
+        assert a.build().keys() == b.build().keys()
+        assert all(a.records[oid] == b.records[oid] for oid in a.records)
+
+
+class TestOperations:
+    def test_lookup_accesses_requested_count(self, small_oo1):
+        store = fresh_store(small_oo1)
+        bench = OO1Benchmark(small_oo1, store)
+        run = bench.lookup_run()
+        assert run.objects_accessed == 50
+        assert run.io_reads > 0
+
+    def test_traversal_visit_count_bounded(self, small_oo1):
+        store = fresh_store(small_oo1)
+        bench = OO1Benchmark(small_oo1, store)
+        run = bench.traversal_run()
+        # Depth 3, fan-out 3: at most (3^4 - 1) / 2 = 40 part visits.
+        assert 1 <= run.objects_accessed <= 40
+
+    def test_reverse_traversal_runs(self, small_oo1):
+        store = fresh_store(small_oo1)
+        bench = OO1Benchmark(small_oo1, store)
+        run = bench.traversal_run(reverse=True)
+        assert run.operation == "reverse-traversal"
+        assert run.objects_accessed >= 1
+
+    def test_insert_grows_database_and_commits(self, small_oo1):
+        store = fresh_store(small_oo1)
+        bench = OO1Benchmark(small_oo1, store)
+        before_objects = store.object_count
+        run = bench.insert_run()
+        p = small_oo1.parameters
+        created = p.inserts_per_run * (1 + p.connections_per_part)
+        assert run.objects_accessed == created
+        assert store.object_count == before_objects + created
+        assert run.io_writes > 0  # The commit flushed dirty pages.
+
+    def test_run_all_executes_each_operation_runs_times(self, small_oo1):
+        database = OO1Database(OO1Parameters(
+            num_parts=150, ref_zone=10, traversal_depth=2,
+            lookups_per_run=10, inserts_per_run=2, runs=2, seed=9))
+        database.build()
+        store = fresh_store(database)
+        reports = OO1Benchmark(database, store).run_all()
+        assert set(reports) == {"lookup", "traversal", "reverse-traversal",
+                                "insert"}
+        for report in reports.values():
+            assert len(report.runs) == 2
+            assert report.mean_reads >= 0.0
+
+
+class TestBuildHelper:
+    def test_build_oo1_store(self):
+        database, store = build_oo1_store(
+            OO1Parameters(num_parts=100, seed=2),
+            StoreConfig(page_size=512, buffer_pages=8))
+        assert store.object_count == len(database.records)
+        assert store.snapshot().total_ios == 0

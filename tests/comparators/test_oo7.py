@@ -1,0 +1,187 @@
+"""OO7 benchmark tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparators.oo7 import (
+    ATOMIC_PART_CLASS,
+    BASE_ASSEMBLY_CLASS,
+    COMPLEX_ASSEMBLY_CLASS,
+    COMPOSITE_PART_CLASS,
+    CONNECTION_CLASS,
+    DOCUMENT_CLASS,
+    OO7Benchmark,
+    OO7Database,
+    OO7Parameters,
+    build_oo7_store,
+)
+from repro.errors import ParameterError
+from repro.store.storage import StoreConfig
+
+
+@pytest.fixture(scope="module")
+def small_oo7():
+    database = OO7Database(OO7Parameters(
+        num_modules=1, assembly_levels=3, assembly_fan_out=2,
+        comp_per_module=6, comp_per_assm=2, atomic_per_comp=4,
+        connections_per_atomic=2, seed=13))
+    database.build()
+    return database
+
+
+def fresh_bench(database):
+    store = StoreConfig(page_size=512, buffer_pages=32).build()
+    store.bulk_load(list(database.records.values()),
+                    order=sorted(database.records))
+    store.reset_stats()
+    return OO7Benchmark(database, store)
+
+
+class TestParameters:
+    def test_small_config(self):
+        p = OO7Parameters.small()
+        assert p.assembly_levels == 7
+        assert p.comp_per_module == 500
+        assert p.atomic_per_comp == 20
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OO7Parameters(assembly_levels=0)
+
+
+class TestDatabase:
+    def test_module_count(self, small_oo7):
+        assert len(small_oo7.module_oids) == 1
+
+    def test_base_assembly_count(self, small_oo7):
+        # Fan-out 2, 3 levels: 2^(3-1) = 4 base assemblies.
+        assert len(small_oo7.base_assembly_oids) == 4
+
+    def test_composite_pool(self, small_oo7):
+        assert len(small_oo7.composite_oids) == 6
+        assert len(small_oo7.atomic_oids) == 24
+        assert len(small_oo7.document_oids) == 6
+
+    def test_base_assemblies_reference_pool_composites(self, small_oo7):
+        pool = set(small_oo7.composite_oids)
+        for oid in small_oo7.base_assembly_oids:
+            for target in small_oo7.records[oid].non_null_refs():
+                assert target in pool
+
+    def test_composites_have_root_atomic_and_document(self, small_oo7):
+        for composite in small_oo7.composite_oids:
+            record = small_oo7.records[composite]
+            root, document = record.refs
+            assert small_oo7.records[root].cid == ATOMIC_PART_CLASS
+            assert small_oo7.records[document].cid == DOCUMENT_CLASS
+            assert small_oo7.root_atomic[composite] == root
+
+    def test_atomic_connection_graph_closed_per_composite(self, small_oo7):
+        for atomic in small_oo7.atomic_oids:
+            for conn in small_oo7.records[atomic].non_null_refs():
+                assert small_oo7.records[conn].cid == CONNECTION_CLASS
+                (target,) = small_oo7.records[conn].non_null_refs()
+                assert small_oo7.records[target].cid == ATOMIC_PART_CLASS
+
+    def test_build_dates_assigned(self, small_oo7):
+        assert set(small_oo7.build_dates) == set(small_oo7.atomic_oids)
+        assert all(0 <= d <= 99_999 for d in small_oo7.build_dates.values())
+
+
+class TestTraversals:
+    def test_t1_touches_every_composite_graph(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        run = bench.t1_traversal()
+        # Every atomic part reachable through base assemblies is visited.
+        assert run.objects_accessed > len(small_oo7.base_assembly_oids)
+        assert run.io_reads > 0
+
+    def test_t6_touches_only_root_atomics(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        t6 = bench.t6_traversal()
+        t1 = bench.t1_traversal()
+        assert t6.objects_accessed < t1.objects_accessed
+
+    def test_t2_performs_updates(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        bench.t2_traversal()
+        bench.store.flush()
+        assert bench.store.snapshot().io_writes > 0
+
+
+class TestQueries:
+    def test_q1_counts(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        run = bench.q1_lookup(count=5)
+        assert run.objects_accessed == 5
+
+    def test_q2_narrower_than_q3(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        q2 = bench.q2_range()
+        q3 = bench.q3_range()
+        assert q2.objects_accessed <= q3.objects_accessed
+
+    def test_q7_scans_all_atomic_parts(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        run = bench.q7_scan()
+        assert run.objects_accessed == len(small_oo7.atomic_oids)
+
+    def test_q4_reads_documents(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        run = bench.q4_documents(count=3)
+        assert run.objects_accessed >= 3
+
+
+class TestStructuralModifications:
+    def test_sm1_then_sm2_roundtrip(self):
+        database = OO7Database(OO7Parameters(
+            num_modules=1, assembly_levels=2, assembly_fan_out=2,
+            comp_per_module=3, comp_per_assm=1, atomic_per_comp=3,
+            connections_per_atomic=1, seed=23))
+        database.build()
+        bench = fresh_bench(database)
+        objects_before = bench.store.object_count
+        composites_before = len(database.composite_oids)
+
+        sm1 = bench.sm1_insert(count=2)
+        assert sm1.objects_accessed > 0
+        assert len(database.composite_oids) == composites_before + 2
+        assert bench.store.object_count > objects_before
+
+        sm2 = bench.sm2_delete(count=2)
+        assert sm2.objects_accessed > 0
+        assert len(database.composite_oids) == composites_before
+        # Traversal still works: no dangling assembly references.
+        bench.t1_traversal()
+
+    def test_sm2_never_deletes_referenced_composites(self, small_oo7):
+        bench = fresh_bench(small_oo7)
+        referenced = {target
+                      for oid in small_oo7.base_assembly_oids
+                      for target in small_oo7.records[oid].non_null_refs()}
+        bench.sm2_delete(count=10)
+        for composite in referenced:
+            assert composite in bench.store
+
+
+class TestSuite:
+    def test_run_suite_covers_operations(self, small_oo7):
+        database = OO7Database(OO7Parameters(
+            num_modules=1, assembly_levels=2, assembly_fan_out=2,
+            comp_per_module=3, comp_per_assm=1, atomic_per_comp=3,
+            connections_per_atomic=1, seed=29))
+        database.build()
+        bench = fresh_bench(database)
+        results = bench.run_suite()
+        assert set(results) == {"T1", "T2", "T6", "Q1", "Q2", "Q3", "Q4",
+                                "Q7", "SM1", "SM2"}
+
+    def test_build_helper(self):
+        database, store = build_oo7_store(
+            OO7Parameters(num_modules=1, assembly_levels=2,
+                          assembly_fan_out=2, comp_per_module=2,
+                          comp_per_assm=1, atomic_per_comp=2,
+                          connections_per_atomic=1, seed=3),
+            StoreConfig(page_size=256, buffer_pages=8))
+        assert store.object_count == len(database.records)

@@ -1,0 +1,126 @@
+"""OCBDatabase container tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import OCBDatabase, OCBObject
+from repro.core.generation import generate_database
+from repro.core.parameters import DatabaseParameters
+from repro.errors import GenerationError
+from repro.store.serializer import encoded_size
+
+
+class TestLookups:
+    def test_get_and_class_of(self, small_database):
+        obj = small_database.get(1)
+        assert obj.oid == 1
+        assert small_database.class_of(1) == obj.cid
+
+    def test_unknown_oid(self, small_database):
+        with pytest.raises(GenerationError):
+            small_database.get(10_000)
+        with pytest.raises(GenerationError):
+            small_database.class_of(10_000)
+
+    def test_catalog_is_copy(self, small_database):
+        catalog = small_database.catalog()
+        catalog[1] = 999
+        assert small_database.class_of(1) != 999 or \
+            small_database.class_of(1) == small_database.get(1).cid
+
+    def test_ref_type_of(self, small_database):
+        obj = next(o for o in small_database.objects.values() if o.oref)
+        type_id = small_database.ref_type_of(obj.oid, 0)
+        assert 1 <= type_id <= small_database.parameters.num_ref_types
+
+    def test_ref_type_of_bad_index(self, small_database):
+        with pytest.raises(GenerationError):
+            small_database.ref_type_of(1, 999)
+
+    def test_tref_table_covers_all_classes(self, small_database):
+        table = small_database.tref_table()
+        assert set(table) == set(small_database.schema.class_ids())
+
+    def test_iter_objects_ordered(self, small_database):
+        oids = [obj.oid for obj in small_database.iter_objects()]
+        assert oids == sorted(oids)
+
+
+class TestRecords:
+    def test_records_carry_instance_size_as_filler(self, small_database):
+        records = small_database.to_records()
+        for oid, record in list(records.items())[:20]:
+            descriptor = small_database.schema.get(record.cid)
+            assert record.filler == descriptor.instance_size
+
+    def test_record_sizes_match_encoding(self, small_database):
+        records = small_database.to_records()
+        sizes = small_database.record_sizes()
+        for oid, record in records.items():
+            assert sizes[oid] == record.size
+
+    def test_total_bytes(self, small_database):
+        assert small_database.total_bytes() == \
+            sum(small_database.record_sizes().values())
+
+
+class TestValidation:
+    def test_valid_database_passes(self, small_database):
+        small_database.validate()
+
+    def test_detects_dangling_reference(self, small_db_params):
+        database, _ = generate_database(small_db_params)
+        victim = next(o for o in database.objects.values() if o.oref)
+        for i, t in enumerate(victim.oref):
+            if t is not None:
+                victim.oref[i] = 99_999
+                break
+        with pytest.raises(GenerationError):
+            database.validate()
+
+    def test_detects_broken_back_reference(self, small_db_params):
+        database, _ = generate_database(small_db_params)
+        victim = next(o for o in database.objects.values() if o.back_refs)
+        victim.back_refs.pop()
+        with pytest.raises(GenerationError):
+            database.validate()
+
+    def test_detects_wrong_slot_count(self, small_db_params):
+        database, _ = generate_database(small_db_params)
+        victim = database.get(1)
+        victim.oref.append(None)
+        with pytest.raises(GenerationError):
+            database.validate()
+
+
+class TestStatistics:
+    def test_counts_consistent(self, small_database):
+        stats = small_database.statistics()
+        assert stats.num_objects == small_database.num_objects
+        assert stats.num_classes == small_database.schema.num_classes
+        total_slots = stats.live_references + stats.nil_references
+        expected_slots = sum(
+            small_database.schema.get(o.cid).max_nref
+            for o in small_database.objects.values())
+        assert total_slots == expected_slots
+
+    def test_average_fanout(self, small_database):
+        stats = small_database.statistics()
+        assert stats.average_fanout == pytest.approx(
+            stats.live_references / stats.num_objects)
+
+    def test_population_by_class_sums_to_no(self, small_database):
+        stats = small_database.statistics()
+        assert sum(count for _, count in stats.population_by_class) == \
+            stats.num_objects
+
+    def test_describe_mentions_key_numbers(self, small_database):
+        text = small_database.statistics().describe()
+        assert str(small_database.num_objects) in text
+
+
+class TestLiveReferences:
+    def test_live_references_property(self):
+        obj = OCBObject(oid=1, cid=1, oref=[2, None, 3])
+        assert obj.live_references == [2, 3]

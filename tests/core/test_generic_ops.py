@@ -1,0 +1,202 @@
+"""Tests for the fully-generic operation extension (paper future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generation import generate_database
+from repro.core.generic_ops import (
+    GenericOperation,
+    GenericOperationsRunner,
+    attribute_of,
+)
+from repro.core.parameters import DatabaseParameters
+from repro.errors import WorkloadError
+from repro.store.storage import StoreConfig
+
+
+def make_runner(seed=19, num_objects=150):
+    params = DatabaseParameters(num_classes=5, max_nref=3, base_size=25,
+                                num_objects=num_objects, seed=seed)
+    database, _ = generate_database(params)
+    store = StoreConfig(page_size=512, buffer_pages=16).build()
+    records = database.to_records()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    return GenericOperationsRunner(database, store)
+
+
+def assert_in_sync(runner):
+    """Database invariants hold and the store mirrors the database."""
+    runner.database.validate()
+    assert set(runner.store.iter_oids()) == set(runner.database.objects)
+    for oid, obj in runner.database.objects.items():
+        record = runner.store.read_object(oid)
+        assert record.refs == tuple(obj.oref)
+        assert sorted(record.back_refs) == sorted(tuple(p)
+                                                  for p in obj.back_refs)
+
+
+class TestInsert:
+    def test_grows_database_and_store(self):
+        runner = make_runner()
+        before = runner.store.object_count
+        result = runner.insert()
+        assert result.operation is GenericOperation.INSERT
+        assert runner.store.object_count == before + 1
+        assert runner.database.num_objects == before + 1
+
+    def test_new_object_is_wired_consistently(self):
+        runner = make_runner()
+        runner.insert()
+        assert_in_sync(runner)
+
+    def test_insert_commits(self):
+        runner = make_runner()
+        result = runner.insert()
+        assert result.io_writes > 0
+
+    def test_repeated_inserts_get_fresh_oids(self):
+        runner = make_runner()
+        first = runner.database.next_oid
+        runner.insert()
+        runner.insert()
+        assert runner.database.next_oid == first + 2
+
+
+class TestUpdate:
+    def test_update_preserves_invariants(self):
+        runner = make_runner()
+        runner.update()
+        assert_in_sync(runner)
+
+    def test_update_specific_object(self):
+        runner = make_runner()
+        result = runner.update(oid=1)
+        assert result.objects_touched >= 1
+
+    def test_update_redraws_reference(self):
+        # Run several updates; at least one must change a reference.
+        runner = make_runner(seed=5)
+        before = {oid: tuple(obj.oref)
+                  for oid, obj in runner.database.objects.items()}
+        for _ in range(10):
+            runner.update()
+        after = {oid: tuple(obj.oref)
+                 for oid, obj in runner.database.objects.items()}
+        assert before != after
+
+
+class TestDelete:
+    def test_removes_object_everywhere(self):
+        runner = make_runner()
+        victim = 10
+        runner.delete(oid=victim)
+        assert victim not in runner.database.objects
+        assert victim not in runner.store
+        assert_in_sync(runner)
+
+    def test_inbound_references_nulled(self):
+        runner = make_runner()
+        victim_oid = next(oid for oid, obj
+                          in runner.database.objects.items()
+                          if obj.back_refs)
+        referrers = [(src, idx) for src, idx
+                     in runner.database.get(victim_oid).back_refs
+                     if src != victim_oid]
+        runner.delete(oid=victim_oid)
+        for source, index in referrers:
+            assert runner.database.get(source).oref[index] is None
+
+    def test_random_victim(self):
+        runner = make_runner()
+        before = runner.database.num_objects
+        runner.delete()
+        assert runner.database.num_objects == before - 1
+
+
+class TestRangeLookup:
+    def test_matches_attribute_predicate(self):
+        runner = make_runner()
+        result = runner.range_lookup(low=0, width=20)
+        expected = sum(1 for oid in runner.database.objects
+                       if attribute_of(oid) < 20)
+        assert result.objects_touched == expected
+
+    def test_reads_through_store(self):
+        runner = make_runner()
+        runner.store.drop_caches()
+        runner.store.reset_stats()
+        result = runner.range_lookup(low=0, width=50)
+        assert result.io_reads > 0
+
+    def test_width_validation(self):
+        runner = make_runner()
+        with pytest.raises(WorkloadError):
+            runner.range_lookup(width=0)
+
+    def test_attribute_is_deterministic_percentile(self):
+        values = [attribute_of(oid) for oid in range(1, 2000)]
+        assert all(0 <= v <= 99 for v in values)
+        # Roughly uniform: every decile populated.
+        assert {v // 10 for v in values} == set(range(10))
+
+
+class TestSequentialScan:
+    def test_touches_every_object(self):
+        runner = make_runner()
+        result = runner.sequential_scan()
+        assert result.objects_touched == runner.database.num_objects
+
+    def test_scan_in_physical_order_is_io_efficient(self):
+        runner = make_runner()
+        runner.store.drop_caches()
+        runner.store.reset_stats()
+        result = runner.sequential_scan()
+        # Sequential order: each page read approximately once.
+        assert result.io_reads <= runner.store.page_count + 2
+
+
+class TestMix:
+    def test_default_mix_keeps_invariants(self):
+        runner = make_runner()
+        results = runner.run_mix(12)
+        assert len(results) == 12
+        assert_in_sync(runner)
+
+    def test_mix_validation(self):
+        runner = make_runner()
+        with pytest.raises(WorkloadError):
+            runner.run_mix(-1)
+        with pytest.raises(WorkloadError):
+            runner.run_mix(1, weights={GenericOperation.INSERT: 0.0})
+
+    def test_empty_store_rejected(self, small_database):
+        store = StoreConfig(buffer_pages=4).build()
+        with pytest.raises(WorkloadError):
+            GenericOperationsRunner(small_database, store)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       script=st.lists(st.sampled_from(["insert", "update", "delete",
+                                        "range", "scan"]),
+                       min_size=1, max_size=12))
+def test_any_operation_sequence_keeps_store_and_database_in_sync(seed,
+                                                                 script):
+    """Property: arbitrary operation sequences never break the invariants."""
+    runner = make_runner(seed=seed, num_objects=60)
+    for step in script:
+        if step == "insert":
+            runner.insert()
+        elif step == "update":
+            runner.update()
+        elif step == "delete" and runner.database.num_objects > 2:
+            runner.delete()
+        elif step == "range":
+            runner.range_lookup(low=0, width=25)
+        elif step == "scan":
+            runner.sequential_scan()
+    assert_in_sync(runner)

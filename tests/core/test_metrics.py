@@ -1,0 +1,114 @@
+"""Metrics aggregation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import KindStats, MetricsCollector, PhaseReport
+from repro.core.transactions import TransactionKind, TransactionResult
+from repro.store.buffer import BufferStats
+from repro.store.disk import DiskStats
+from repro.store.storage import StoreSnapshot
+from repro.store.swizzle import SwizzleStats
+
+
+def result(kind=TransactionKind.SET, visits=10, distinct=8, truncated=False):
+    return TransactionResult(kind=kind, root=1, visits=visits,
+                             distinct_objects=distinct, max_depth_reached=2,
+                             reverse=False, ref_type=None, truncated=truncated)
+
+
+def delta(reads=4, writes=1, hits=6, misses=4, accesses=10, sim=0.05):
+    return StoreSnapshot(disk=DiskStats(reads=reads, writes=writes),
+                         buffer=BufferStats(hits=hits, misses=misses),
+                         swizzle=SwizzleStats(),
+                         object_accesses=accesses,
+                         sim_time=sim)
+
+
+class TestKindStats:
+    def test_add_accumulates(self):
+        stats = KindStats()
+        stats.add(result(), delta(), 0.01)
+        stats.add(result(visits=20), delta(reads=6), 0.02)
+        assert stats.count == 2
+        assert stats.visits == 30
+        assert stats.io_reads == 10
+        assert stats.wall_time == pytest.approx(0.03)
+
+    def test_per_transaction_means(self):
+        stats = KindStats()
+        stats.add(result(visits=10), delta(reads=4, writes=2), 0.0)
+        stats.add(result(visits=20), delta(reads=8, writes=0), 0.0)
+        assert stats.reads_per_transaction == 6.0
+        assert stats.ios_per_transaction == 7.0
+        assert stats.visits_per_transaction == 15.0
+
+    def test_means_zero_when_empty(self):
+        stats = KindStats()
+        assert stats.ios_per_transaction == 0.0
+        assert stats.visits_per_transaction == 0.0
+        assert stats.hit_ratio == 0.0
+
+    def test_hit_ratio(self):
+        stats = KindStats()
+        stats.add(result(), delta(hits=9, misses=1), 0.0)
+        assert stats.hit_ratio == pytest.approx(0.9)
+
+    def test_truncation_counted(self):
+        stats = KindStats()
+        stats.add(result(truncated=True), delta(), 0.0)
+        stats.add(result(), delta(), 0.0)
+        assert stats.truncated == 1
+
+    def test_merge(self):
+        a, b = KindStats(), KindStats()
+        a.add(result(), delta(), 0.01)
+        b.add(result(visits=30), delta(reads=10), 0.02)
+        a.merge(b)
+        assert a.count == 2
+        assert a.visits == 40
+        assert a.io_reads == 14
+
+
+class TestPhaseReport:
+    def build(self):
+        collector = MetricsCollector("warm")
+        collector.record(result(TransactionKind.SET, visits=10),
+                         delta(reads=5), 0.0)
+        collector.record(result(TransactionKind.SIMPLE, visits=4),
+                         delta(reads=3), 0.0)
+        collector.record(result(TransactionKind.SET, visits=20),
+                         delta(reads=7), 0.0)
+        return collector.report
+
+    def test_per_kind_split(self):
+        report = self.build()
+        assert report.kind(TransactionKind.SET).count == 2
+        assert report.kind(TransactionKind.SIMPLE).count == 1
+        assert report.kind(TransactionKind.HIERARCHY).count == 0
+
+    def test_totals(self):
+        report = self.build()
+        assert report.transaction_count == 3
+        assert report.totals.visits == 34
+        assert report.totals.io_reads == 15
+
+    def test_rows_include_all_row(self):
+        rows = self.build().rows()
+        assert rows[-1][0] == "all"
+        assert rows[-1][1] == 3
+        kinds = [row[0] for row in rows]
+        assert "set" in kinds and "simple" in kinds
+        assert "hierarchy" not in kinds  # Never ran.
+
+    def test_merge_reports(self):
+        a, b = self.build(), self.build()
+        a.merge(b)
+        assert a.transaction_count == 6
+        assert a.kind(TransactionKind.SET).count == 4
+
+    def test_merge_into_empty(self):
+        empty = PhaseReport(name="cold")
+        empty.merge(self.build())
+        assert empty.transaction_count == 3

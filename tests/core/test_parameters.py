@@ -1,0 +1,206 @@
+"""Parameter validation tests, including the paper's Tables 1 and 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    DatabaseParameters,
+    ReferenceTypeSpec,
+    WorkloadParameters,
+    default_reference_types,
+)
+from repro.core.presets import (
+    default_database_parameters,
+    default_workload_parameters,
+)
+from repro.errors import ParameterError
+from repro.rand.distributions import UniformDistribution
+
+
+class TestTable1Defaults:
+    """Table 1 of the paper, verbatim."""
+
+    def test_table1_defaults(self):
+        p = default_database_parameters()
+        assert p.num_classes == 20                      # NC
+        assert p.max_nref == (10,) * 20                 # MAXNREF(i)
+        assert p.base_size == (50,) * 20                # BASESIZE(i)
+        assert p.num_objects == 20000                   # NO
+        assert p.num_ref_types == 4                     # NREFT
+        assert p.inf_class == 1                         # INFCLASS
+        assert p.sup_class == 20                        # SUPCLASS = NC
+        assert p.inf_ref == 1                           # INFREF
+        assert p.sup_ref == 20000                       # SUPREF = NO
+        assert isinstance(p.dist1, UniformDistribution)  # DIST1
+        assert isinstance(p.dist2, UniformDistribution)  # DIST2
+        assert isinstance(p.dist3, UniformDistribution)  # DIST3
+        assert isinstance(p.dist4, UniformDistribution)  # DIST4
+
+
+class TestTable2Defaults:
+    """Table 2 of the paper, verbatim."""
+
+    def test_table2_defaults(self):
+        w = default_workload_parameters()
+        assert w.set_depth == 3                         # SETDEPTH
+        assert w.simple_depth == 3                      # SIMDEPTH
+        assert w.hierarchy_depth == 5                   # HIEDEPTH
+        assert w.stochastic_depth == 50                 # STODEPTH
+        assert w.cold_n == 1000                         # COLDN
+        assert w.hot_n == 10000                         # HOTN
+        assert w.think_time == 0.0                      # THINK
+        assert w.p_set == 0.25                          # PSET
+        assert w.p_simple == 0.25                       # PSIMPLE
+        assert w.p_hierarchy == 0.25                    # PHIER
+        assert w.p_stochastic == 0.25                   # PSTOCH
+        assert isinstance(w.dist5, UniformDistribution)  # RAND5
+        assert w.clients == 1                           # CLIENTN
+
+
+class TestReferenceTypes:
+    def test_default_ladder(self):
+        specs = default_reference_types(4)
+        assert specs[0].is_inheritance and specs[0].acyclic
+        assert specs[1].acyclic and not specs[1].is_inheritance
+        assert not specs[2].acyclic
+        assert not specs[3].acyclic
+
+    def test_single_type_is_association(self):
+        (spec,) = default_reference_types(1)
+        assert not spec.is_inheritance
+
+    def test_inheritance_must_be_acyclic(self):
+        with pytest.raises(ParameterError):
+            ReferenceTypeSpec(1, "broken", acyclic=False, is_inheritance=True)
+
+    def test_type_ids_start_at_one(self):
+        with pytest.raises(ParameterError):
+            ReferenceTypeSpec(0, "zero")
+
+    def test_custom_types_must_cover_range(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(
+                num_classes=2, num_objects=10, num_ref_types=2,
+                reference_types=(ReferenceTypeSpec(1, "a"),
+                                 ReferenceTypeSpec(3, "b")))
+
+
+class TestDatabaseParameterValidation:
+    def test_per_class_tuples(self):
+        p = DatabaseParameters(num_classes=3, max_nref=(1, 2, 3),
+                               base_size=(10, 20, 30), num_objects=10)
+        assert p.max_nref_for(1) == 1
+        assert p.max_nref_for(3) == 3
+        assert p.base_size_for(2) == 20
+
+    def test_scalar_broadcast(self):
+        p = DatabaseParameters(num_classes=3, max_nref=5, num_objects=10)
+        assert p.max_nref == (5, 5, 5)
+
+    def test_wrong_tuple_length(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=3, max_nref=(1, 2), num_objects=5)
+
+    def test_negative_values(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=0)
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_objects=-1)
+        with pytest.raises(ParameterError):
+            DatabaseParameters(max_nref=-1)
+
+    def test_class_bounds(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=5, inf_class=4, sup_class=2,
+                               num_objects=10)
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=5, sup_class=9, num_objects=10)
+
+    def test_inf_class_zero_allows_nil(self):
+        p = DatabaseParameters(num_classes=5, inf_class=0, num_objects=10)
+        assert p.inf_class == 0
+
+    def test_ref_bounds_default_to_population(self):
+        p = DatabaseParameters(num_objects=500)
+        assert p.object_ref_bounds(250) == (1, 500)
+
+    def test_ref_zone_bounds_relative_and_clamped(self):
+        p = DatabaseParameters(num_objects=500, ref_zone=50)
+        assert p.object_ref_bounds(250) == (200, 300)
+        assert p.object_ref_bounds(10) == (1, 60)
+        assert p.object_ref_bounds(490) == (440, 500)
+
+    def test_negative_ref_zone(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_objects=10, ref_zone=-1)
+
+    def test_fixed_tref_shape_checked(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=2, max_nref=2, num_objects=5,
+                               fixed_tref=((1, 1),))  # Missing a row.
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=2, max_nref=2, num_objects=5,
+                               fixed_tref=((1,), (1, 1)))  # Short row.
+
+    def test_fixed_tref_type_range_checked(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=1, max_nref=1, num_objects=5,
+                               num_ref_types=2, fixed_tref=((9,),))
+
+    def test_fixed_cref_range_checked(self):
+        with pytest.raises(ParameterError):
+            DatabaseParameters(num_classes=2, max_nref=1, num_objects=5,
+                               fixed_cref=((3,), (1,)))
+
+    def test_ref_type_spec_lookup(self):
+        p = DatabaseParameters(num_objects=10)
+        assert p.ref_type_spec(1).is_inheritance
+        with pytest.raises(ParameterError):
+            p.ref_type_spec(99)
+
+
+class TestWorkloadParameterValidation:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(p_set=0.5, p_simple=0.5, p_hierarchy=0.5,
+                               p_stochastic=0.0)
+
+    def test_probability_range(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(p_set=-0.1, p_simple=0.6, p_hierarchy=0.25,
+                               p_stochastic=0.25)
+
+    def test_negative_depth(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(set_depth=-1)
+
+    def test_negative_think(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(think_time=-1.0)
+
+    def test_clients_minimum(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(clients=0)
+
+    def test_reverse_probability_range(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(reverse_probability=1.5)
+
+    def test_max_visits_minimum(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(max_visits=0)
+
+    def test_transactions_total(self):
+        w = WorkloadParameters(cold_n=10, hot_n=40)
+        assert w.transactions_total == 50
+
+    def test_probability_table_order(self):
+        w = WorkloadParameters()
+        kinds = [kind for kind, _ in w.probability_table()]
+        assert kinds == ["set", "simple", "hierarchy", "stochastic"]
+
+    def test_degenerate_single_kind(self):
+        w = WorkloadParameters(p_set=1.0, p_simple=0.0, p_hierarchy=0.0,
+                               p_stochastic=0.0)
+        assert w.p_set == 1.0

@@ -1,0 +1,135 @@
+"""Preset tests — including Table 3 (the DSTC-CluB approximation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generation import generate_database
+from repro.core.presets import (
+    PRESETS,
+    default_database_parameters,
+    default_workload_parameters,
+    dstc_club_database_parameters,
+    dstc_club_workload_parameters,
+    hypermodel_like_database_parameters,
+    oo1_like_database_parameters,
+    oo1_like_workload_parameters,
+    oo7_like_database_parameters,
+    preset,
+)
+from repro.errors import ParameterError
+from repro.rand.distributions import ConstantDistribution, SpecialDistribution
+
+
+class TestTable3Preset:
+    """Table 3 of the paper: OCB parameterized to mimic DSTC-CluB."""
+
+    def test_table3_dstc_club_preset(self):
+        p = dstc_club_database_parameters()
+        assert p.num_classes == 2                      # NC
+        assert p.max_nref == (3, 3)                    # MAXNREF
+        assert p.base_size == (50, 50)                 # BASESIZE
+        assert p.num_objects == 20000                  # NO
+        assert p.num_ref_types == 3                    # NREFT
+        assert p.inf_class == 0                        # INFCLASS
+        assert p.sup_class == 2                        # SUPCLASS
+        assert isinstance(p.dist1, ConstantDistribution)  # DIST1
+        assert isinstance(p.dist2, ConstantDistribution)  # DIST2
+        assert isinstance(p.dist3, ConstantDistribution)  # DIST3
+        assert isinstance(p.dist4, SpecialDistribution)   # DIST4 "Special"
+        assert p.dist4.locality_probability == 0.9
+
+    def test_generated_database_is_oo1_like(self):
+        p = dstc_club_database_parameters(num_objects=500, ref_zone=20)
+        database, _ = generate_database(p, validate=True)
+        # Every object is a Part (class 1) with three part references.
+        assert all(obj.cid == 1 for obj in database.objects.values())
+        live = [len(obj.live_references)
+                for obj in database.objects.values()]
+        assert all(count == 3 for count in live)
+
+    def test_locality_mostly_within_zone(self):
+        p = dstc_club_database_parameters(num_objects=2000, ref_zone=25)
+        database, _ = generate_database(p)
+        inside = 0
+        total = 0
+        for obj in database.objects.values():
+            for target in obj.live_references:
+                total += 1
+                if abs(target - obj.oid) <= 25:
+                    inside += 1
+        assert 0.85 < inside / total < 0.95
+
+    def test_workload_is_traversal_only(self):
+        w = dstc_club_workload_parameters()
+        assert w.p_simple == 1.0
+        assert w.p_set == w.p_hierarchy == w.p_stochastic == 0.0
+        assert w.simple_depth == 7          # OO1's seven hops.
+        assert w.max_visits == 3280         # OO1's traversal bound.
+
+    def test_workload_depth_override(self):
+        assert dstc_club_workload_parameters(depth=4).simple_depth == 4
+
+
+class TestDefaultPresets:
+    def test_scaling(self):
+        p = default_database_parameters(scale=0.1)
+        assert p.num_objects == 2000
+        w = default_workload_parameters(scale=0.01)
+        assert w.cold_n == 10
+        assert w.hot_n == 100
+
+    def test_bad_scale(self):
+        with pytest.raises(ParameterError):
+            default_database_parameters(scale=0.0)
+
+    def test_seed_override(self):
+        assert default_database_parameters(seed=9).seed == 9
+
+
+class TestGenericityPresets:
+    def test_oo1_ref_zone_is_one_percent(self):
+        p = oo1_like_database_parameters(num_parts=10000)
+        assert isinstance(p.dist4, SpecialDistribution)
+        assert p.dist4.ref_zone == 100
+
+    def test_oo1_workload_mixes_lookup_and_traversal(self):
+        w = oo1_like_workload_parameters()
+        assert w.p_set == pytest.approx(0.5)
+        assert w.p_simple == pytest.approx(0.5)
+        assert w.simple_depth == 7
+        assert w.reverse_probability == 0.5
+
+    def test_hypermodel_generates(self):
+        p = hypermodel_like_database_parameters(num_nodes=200)
+        database, _ = generate_database(p, validate=True)
+        assert database.num_objects == 200
+        assert database.schema.num_classes == 1
+
+    def test_oo7_generates_with_inheritance_sizes(self):
+        p = oo7_like_database_parameters(scale=0.05)
+        database, _ = generate_database(p, validate=True)
+        schema = database.schema
+        # Manual (class 8) inherits DesignObj (class 9): 400 + 20.
+        assert schema.get(8).instance_size == 420
+
+    def test_oo7_assembly_hierarchy_is_acyclic(self):
+        p = oo7_like_database_parameters(scale=0.05)
+        database, _ = generate_database(p)
+        assert not database.schema.has_cycle(2)
+
+
+class TestRegistry:
+    def test_all_presets_instantiate(self):
+        for name in PRESETS:
+            db, wl = preset(name)
+            assert db.num_objects > 0
+            assert wl.transactions_total > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(ParameterError):
+            preset("nope")
+
+    def test_case_insensitive(self):
+        db, _ = preset("  DEFAULT-SMALL ")
+        assert db.num_objects == 2000

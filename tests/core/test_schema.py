@@ -1,0 +1,148 @@
+"""Schema model tests: descriptors, typed graphs, inheritance sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ReferenceTypeSpec, default_reference_types
+from repro.core.schema import ClassDescriptor, Schema
+from repro.errors import GenerationError, ParameterError
+
+
+def make_schema():
+    """3 classes: 3 --inherits--> 2 --inherits--> 1, plus an association."""
+    types = (
+        ReferenceTypeSpec(1, "inheritance", acyclic=True, is_inheritance=True),
+        ReferenceTypeSpec(2, "association"),
+    )
+    classes = [
+        ClassDescriptor(cid=1, max_nref=1, base_size=100,
+                        tref=[2], cref=[3]),
+        ClassDescriptor(cid=2, max_nref=1, base_size=20,
+                        tref=[1], cref=[1]),
+        ClassDescriptor(cid=3, max_nref=2, base_size=5,
+                        tref=[1, 2], cref=[2, 1]),
+    ]
+    return Schema(classes, types)
+
+
+class TestClassDescriptor:
+    def test_instance_size_defaults_to_base(self):
+        descriptor = ClassDescriptor(cid=1, max_nref=0, base_size=42)
+        assert descriptor.instance_size == 42
+
+    def test_references_iterator(self):
+        descriptor = ClassDescriptor(cid=1, max_nref=2, base_size=1,
+                                     tref=[1, 2], cref=[5, None])
+        assert list(descriptor.references()) == [(0, 1, 5), (1, 2, None)]
+
+    def test_live_reference_count(self):
+        descriptor = ClassDescriptor(cid=1, max_nref=3, base_size=1,
+                                     tref=[1, 1, 1], cref=[2, None, 3])
+        assert descriptor.live_reference_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ClassDescriptor(cid=0, max_nref=1, base_size=1)
+        with pytest.raises(ParameterError):
+            ClassDescriptor(cid=1, max_nref=-1, base_size=1)
+
+
+class TestSchemaLookups:
+    def test_class_ids_sorted(self):
+        assert make_schema().class_ids() == [1, 2, 3]
+
+    def test_get_unknown(self):
+        with pytest.raises(GenerationError):
+            make_schema().get(9)
+
+    def test_contains_and_iter(self):
+        schema = make_schema()
+        assert 2 in schema
+        assert 9 not in schema
+        assert [d.cid for d in schema] == [1, 2, 3]
+
+    def test_duplicate_class_rejected(self):
+        types = default_reference_types(1)
+        descriptor = ClassDescriptor(cid=1, max_nref=0, base_size=1)
+        with pytest.raises(GenerationError):
+            Schema([descriptor, descriptor], types)
+
+    def test_unknown_reference_type_rejected(self):
+        types = default_reference_types(1)
+        bad = ClassDescriptor(cid=1, max_nref=1, base_size=1,
+                              tref=[7], cref=[1])
+        with pytest.raises(GenerationError):
+            Schema([bad], types)
+
+    def test_ref_type_lookup(self):
+        schema = make_schema()
+        assert schema.ref_type(1).is_inheritance
+        with pytest.raises(GenerationError):
+            schema.ref_type(9)
+
+
+class TestTypedGraphs:
+    def test_typed_edges(self):
+        schema = make_schema()
+        inheritance = schema.typed_edges(1)
+        assert inheritance == {2: [1], 3: [2]}
+        association = schema.typed_edges(2)
+        assert association == {1: [3], 3: [1]}
+
+    def test_inheritance_parents(self):
+        schema = make_schema()
+        assert schema.inheritance_parents(3) == [2]
+        assert schema.inheritance_parents(2) == [1]
+        assert schema.inheritance_parents(1) == []
+
+    def test_inheritance_ancestors_transitive(self):
+        schema = make_schema()
+        assert schema.inheritance_ancestors(3) == {1, 2}
+        assert schema.inheritance_ancestors(1) == set()
+
+    def test_has_cycle_detects(self):
+        types = (ReferenceTypeSpec(1, "t", acyclic=False),)
+        classes = [
+            ClassDescriptor(cid=1, max_nref=1, base_size=1, tref=[1], cref=[2]),
+            ClassDescriptor(cid=2, max_nref=1, base_size=1, tref=[1], cref=[1]),
+        ]
+        assert Schema(classes, types).has_cycle(1)
+
+    def test_has_cycle_clean_graph(self):
+        assert not make_schema().has_cycle(1)
+
+
+class TestInstanceSizes:
+    def test_inheritance_adds_ancestor_sizes(self):
+        schema = make_schema()
+        schema.compute_instance_sizes()
+        # Class 3 inherits 2 which inherits 1: 5 + 20 + 100.
+        assert schema.get(3).instance_size == 125
+        assert schema.get(2).instance_size == 120
+        assert schema.get(1).instance_size == 100
+
+    def test_diamond_counts_ancestor_once(self):
+        types = (ReferenceTypeSpec(1, "inh", acyclic=True,
+                                   is_inheritance=True),)
+        classes = [
+            ClassDescriptor(cid=1, max_nref=0, base_size=100, tref=[], cref=[]),
+            ClassDescriptor(cid=2, max_nref=1, base_size=10,
+                            tref=[1], cref=[1]),
+            ClassDescriptor(cid=3, max_nref=1, base_size=10,
+                            tref=[1], cref=[1]),
+            ClassDescriptor(cid=4, max_nref=2, base_size=1,
+                            tref=[1, 1], cref=[2, 3]),
+        ]
+        schema = Schema(classes, types)
+        schema.compute_instance_sizes()
+        # 4 inherits {2, 3, 1}: 1 + 10 + 10 + 100 (1 counted once).
+        assert schema.get(4).instance_size == 121
+
+    def test_population_and_describe(self):
+        schema = make_schema()
+        schema.get(1).iterator.extend([10, 11])
+        assert schema.total_population() == 2
+        text = schema.describe()
+        assert "3 classes" in text
+        assert "population=2" in text

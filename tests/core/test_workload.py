@@ -1,0 +1,145 @@
+"""Workload runner (cold/warm protocol) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.dstc import DSTCParameters, DSTCPolicy
+from repro.core.metrics import MetricsCollector
+from repro.core.parameters import WorkloadParameters
+from repro.core.transactions import TransactionKind
+from repro.core.workload import WorkloadRunner
+from repro.errors import WorkloadError
+from repro.store.storage import StoreConfig
+
+
+def make_runner(database, store, **workload_overrides):
+    defaults = dict(set_depth=2, simple_depth=2, hierarchy_depth=2,
+                    stochastic_depth=5, cold_n=2, hot_n=10, max_visits=200)
+    defaults.update(workload_overrides)
+    return WorkloadRunner(database, store, WorkloadParameters(**defaults))
+
+
+class TestProtocol:
+    def test_cold_and_warm_counts(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store)
+        report = runner.run()
+        assert report.cold.transaction_count == 2
+        assert report.warm.transaction_count == 10
+
+    def test_empty_store_rejected(self, small_database):
+        store = StoreConfig(buffer_pages=4).build()
+        with pytest.raises(WorkloadError):
+            make_runner(small_database, store)
+
+    def test_metrics_accumulate_io(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store)
+        report = runner.run()
+        totals = report.warm.totals
+        assert totals.visits > 0
+        assert totals.io_reads > 0
+        assert totals.sim_time > 0.0
+
+    def test_deterministic_given_seed(self, small_database):
+        def run_once():
+            store = StoreConfig(page_size=512, buffer_pages=16).build()
+            records = small_database.to_records()
+            store.bulk_load(records.values(), order=sorted(records))
+            store.reset_stats()
+            return make_runner(small_database, store, seed=77).run()
+
+        a, b = run_once(), run_once()
+        assert a.warm.totals.visits == b.warm.totals.visits
+        assert a.warm.totals.io_reads == b.warm.totals.io_reads
+
+    def test_client_ids_draw_distinct_streams(self, small_database,
+                                              loaded_store):
+        a = WorkloadRunner(small_database, loaded_store,
+                           WorkloadParameters(cold_n=0, hot_n=5),
+                           client_id=0)
+        b = WorkloadRunner(small_database, loaded_store,
+                           WorkloadParameters(cold_n=0, hot_n=5),
+                           client_id=1)
+        specs_a = [a.draw_spec() for _ in range(10)]
+        specs_b = [b.draw_spec() for _ in range(10)]
+        assert [s.root for s in specs_a] != [s.root for s in specs_b]
+
+    def test_think_time_advances_clock(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store, think_time=1.0,
+                             cold_n=0, hot_n=3)
+        before = loaded_store.clock.now
+        runner.run()
+        assert loaded_store.clock.now - before >= 3.0
+
+
+class TestDrawSpec:
+    def test_kind_probabilities_respected(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store,
+                             p_set=1.0, p_simple=0.0, p_hierarchy=0.0,
+                             p_stochastic=0.0)
+        for _ in range(20):
+            assert runner.draw_spec().kind is TransactionKind.SET
+
+    def test_mixed_kinds_all_appear(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store)
+        kinds = {runner.draw_spec().kind for _ in range(300)}
+        assert kinds == set(TransactionKind)
+
+    def test_roots_in_population(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store)
+        for _ in range(100):
+            spec = runner.draw_spec()
+            assert 1 <= spec.root <= small_database.num_objects
+
+    def test_hierarchy_ref_type_drawn(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store,
+                             p_set=0.0, p_simple=0.0, p_hierarchy=1.0,
+                             p_stochastic=0.0)
+        types = {runner.draw_spec().ref_type for _ in range(50)}
+        assert types <= set(range(1, 5))
+        assert len(types) > 1
+
+    def test_hierarchy_ref_type_fixed(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store,
+                             p_set=0.0, p_simple=0.0, p_hierarchy=1.0,
+                             p_stochastic=0.0, hierarchy_ref_type=2)
+        assert all(runner.draw_spec().ref_type == 2 for _ in range(20))
+
+    def test_reverse_probability(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store,
+                             reverse_probability=1.0)
+        assert all(runner.draw_spec().reverse for _ in range(20))
+
+    def test_depths_follow_kind(self, small_database, loaded_store):
+        runner = make_runner(small_database, loaded_store,
+                             p_set=0.0, p_simple=0.0, p_hierarchy=0.0,
+                             p_stochastic=1.0, stochastic_depth=17)
+        assert runner.draw_spec().depth == 17
+
+
+class TestStep:
+    def test_step_records_exactly_one_transaction(self, small_database,
+                                                  loaded_store):
+        runner = make_runner(small_database, loaded_store)
+        collector = MetricsCollector("probe")
+        runner.step(collector)
+        assert collector.report.transaction_count == 1
+
+
+class TestAutoReorganization:
+    def test_policy_with_trigger_reorganizes(self, small_database):
+        store = StoreConfig(page_size=512, buffer_pages=16).build()
+        records = small_database.to_records()
+        store.bulk_load(records.values(), order=sorted(records))
+        store.reset_stats()
+        policy = DSTCPolicy(DSTCParameters(
+            observation_period=2, selection_threshold=1,
+            unit_weight_threshold=1.0, trigger_period=5))
+        runner = WorkloadRunner(
+            small_database, store,
+            WorkloadParameters(cold_n=0, hot_n=15, set_depth=2,
+                               simple_depth=2, hierarchy_depth=2,
+                               stochastic_depth=5, max_visits=100),
+            policy=policy)
+        runner.run()
+        assert policy.reorganizations >= 1

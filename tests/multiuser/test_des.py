@@ -1,0 +1,82 @@
+"""Queueing-model (DES) multi-user simulation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import WorkloadParameters
+from repro.multiuser.des import SimulatedMultiUser
+from repro.store.storage import StoreConfig
+
+
+def workload(clients=2, think=0.0):
+    return WorkloadParameters(clients=clients, cold_n=0, hot_n=4,
+                              think_time=think, set_depth=1, simple_depth=1,
+                              hierarchy_depth=1, stochastic_depth=3,
+                              max_visits=60)
+
+
+def fresh_store(database, buffer_pages=16):
+    store = StoreConfig(page_size=512, buffer_pages=buffer_pages).build()
+    records = database.to_records()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    return store
+
+
+class TestSimulatedMultiUser:
+    def test_every_transaction_completes(self, small_database):
+        store = fresh_store(small_database)
+        sim = SimulatedMultiUser(small_database, store, workload(clients=3),
+                                 transactions_per_client=4)
+        report = sim.run()
+        assert len(report.clients) == 3
+        for client in report.clients:
+            assert client.transactions == 4
+
+    def test_makespan_and_throughput_positive(self, small_database):
+        store = fresh_store(small_database)
+        report = SimulatedMultiUser(small_database, store,
+                                    workload()).run()
+        assert report.makespan > 0.0
+        assert report.throughput > 0.0
+        assert 0.0 <= report.disk_utilisation <= 1.0
+
+    def test_response_times_recorded(self, small_database):
+        store = fresh_store(small_database)
+        report = SimulatedMultiUser(small_database, store,
+                                    workload()).run()
+        assert report.mean_response > 0.0
+        for client in report.clients:
+            assert client.max_response >= client.mean_response
+
+    def test_contention_slows_responses(self, small_database):
+        solo_store = fresh_store(small_database)
+        solo = SimulatedMultiUser(small_database, solo_store,
+                                  workload(clients=1),
+                                  transactions_per_client=4).run()
+        busy_store = fresh_store(small_database)
+        busy = SimulatedMultiUser(small_database, busy_store,
+                                  workload(clients=4),
+                                  transactions_per_client=4).run()
+        assert busy.mean_response >= solo.mean_response
+
+    def test_think_time_stretches_makespan(self, small_database):
+        fast_store = fresh_store(small_database)
+        fast = SimulatedMultiUser(small_database, fast_store,
+                                  workload(think=0.0)).run()
+        slow_store = fresh_store(small_database)
+        slow = SimulatedMultiUser(small_database, slow_store,
+                                  workload(think=5.0)).run()
+        assert slow.makespan > fast.makespan
+
+    def test_wider_disk_reduces_waiting(self, small_database):
+        narrow_store = fresh_store(small_database, buffer_pages=4)
+        narrow = SimulatedMultiUser(small_database, narrow_store,
+                                    workload(clients=4),
+                                    disk_capacity=1).run()
+        wide_store = fresh_store(small_database, buffer_pages=4)
+        wide = SimulatedMultiUser(small_database, wide_store,
+                                  workload(clients=4),
+                                  disk_capacity=4).run()
+        assert wide.mean_response <= narrow.mean_response

@@ -1,0 +1,69 @@
+"""Multi-client round-robin runner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import WorkloadParameters
+from repro.errors import WorkloadError
+from repro.multiuser.runner import MultiClientRunner, MultiUserReport
+from repro.store.storage import StoreConfig
+
+
+def workload(clients=2, cold=2, hot=5):
+    return WorkloadParameters(clients=clients, cold_n=cold, hot_n=hot,
+                              set_depth=2, simple_depth=2, hierarchy_depth=2,
+                              stochastic_depth=5, max_visits=150)
+
+
+def fresh_store(database):
+    store = StoreConfig(page_size=512, buffer_pages=16).build()
+    records = database.to_records()
+    store.bulk_load(records.values(), order=sorted(records))
+    store.reset_stats()
+    return store
+
+
+class TestMultiClientRunner:
+    def test_each_client_runs_full_protocol(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=3)).run()
+        assert report.client_count == 3
+        for client in report.clients:
+            assert client.cold.transaction_count == 2
+            assert client.warm.transaction_count == 5
+
+    def test_merged_totals(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=2)).run()
+        assert report.merged_warm.transaction_count == 10
+        assert report.merged_cold.transaction_count == 4
+        total = sum(c.warm.totals.visits for c in report.clients)
+        assert report.merged_warm.totals.visits == total
+
+    def test_clients_follow_distinct_streams(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=2)).run()
+        a, b = report.clients
+        assert a.warm.totals.visits != b.warm.totals.visits
+
+    def test_shared_buffer_gives_cross_client_hits(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=2)).run()
+        assert report.merged_warm.totals.buffer_hits > 0
+
+    def test_single_client_equivalent_shape(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=1)).run()
+        assert report.client_count == 1
+        assert report.warm_reads_per_transaction >= 0.0
+
+    def test_empty_report_defaults(self):
+        report = MultiUserReport()
+        assert report.client_count == 0
+        assert report.merged_warm.transaction_count == 0

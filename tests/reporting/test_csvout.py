@@ -1,0 +1,41 @@
+"""CSV output tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReportingError
+from repro.reporting.csvout import rows_to_csv, write_csv
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        text = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text == "a,b\n1,2\n3,4\n"
+
+    def test_quoting(self):
+        text = rows_to_csv(["a"], [["hello, world"]])
+        assert '"hello, world"' in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ReportingError):
+            rows_to_csv(["a", "b"], [[1]])
+
+    def test_no_columns(self):
+        with pytest.raises(ReportingError):
+            rows_to_csv([], [])
+
+    def test_floats_serialized(self):
+        text = rows_to_csv(["x"], [[1.5]])
+        assert "1.5" in text
+
+
+class TestWriteCsv:
+    def test_writes_file(self, tmp_path):
+        target = write_csv(tmp_path / "out.csv", ["a"], [[1]])
+        assert target.read_text() == "a\n1\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = write_csv(tmp_path / "deep" / "dir" / "out.csv",
+                           ["a"], [[1]])
+        assert target.exists()

@@ -1,0 +1,69 @@
+"""ASCII chart tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReportingError
+from repro.reporting.figures import render_line_chart, render_series_table
+
+
+SERIES = {
+    "1 classes": [(10.0, 0.001), (100.0, 0.01), (1000.0, 0.2)],
+    "20 classes": [(10.0, 0.002), (100.0, 0.03), (1000.0, 0.5)],
+}
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = render_line_chart(SERIES, width=40, height=10)
+        assert "o=1 classes" in text
+        assert "x=20 classes" in text
+        # Markers are plotted in the grid (later series may overdraw
+        # earlier ones at shared raster cells).
+        grid = "\n".join(text.splitlines()[2:-2])
+        assert "x" in grid
+
+    def test_log_axes(self):
+        text = render_line_chart(SERIES, log_x=True, log_y=True,
+                                 x_label="objects", y_label="seconds")
+        assert "(log)" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ReportingError):
+            render_line_chart({"s": [(0.0, 1.0)]}, log_x=True)
+
+    def test_title(self):
+        text = render_line_chart(SERIES, title="Figure 4")
+        assert text.splitlines()[0] == "Figure 4"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReportingError):
+            render_line_chart({})
+        with pytest.raises(ReportingError):
+            render_line_chart({"s": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReportingError):
+            render_line_chart(SERIES, width=4, height=2)
+
+    def test_single_point(self):
+        text = render_line_chart({"s": [(1.0, 1.0)]})
+        assert "o" in text
+
+
+class TestSeriesTable:
+    def test_rows_per_x_value(self):
+        text = render_series_table(SERIES, x_header="objects")
+        lines = text.splitlines()
+        assert lines[0].startswith("objects")
+        assert len(lines) == 2 + 3  # Header + rule + 3 x values.
+
+    def test_missing_values_dashed(self):
+        series = {"a": [(1.0, 0.5)], "b": [(2.0, 0.7)]}
+        text = render_series_table(series)
+        assert "-" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReportingError):
+            render_series_table({})

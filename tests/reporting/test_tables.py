@@ -1,0 +1,78 @@
+"""ASCII table rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReportingError
+from repro.reporting.tables import format_cell, render_kv, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+        assert format_cell(3.14159, precision=4) == "3.1416"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_nan_and_inf(self):
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("-inf")) == "-inf"
+
+    def test_string(self):
+        assert format_cell("hi") == "hi"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "x"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].rstrip() == "name  | x"
+        assert lines[2].startswith("alpha | 1")
+        assert lines[3].startswith("b     | 22")
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["a"], [["very-long-value"]])
+        assert "very-long-value" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2  # Header + rule.
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ReportingError):
+            render_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ReportingError):
+            render_table([], [])
+
+    def test_precision_forwarded(self):
+        text = render_table(["v"], [[1.23456]], precision=3)
+        assert "1.235" in text
+
+
+class TestRenderKv:
+    def test_aligned_keys(self):
+        text = render_kv([["alpha", 1], ["b", 2]])
+        lines = text.splitlines()
+        assert lines[0] == "  alpha : 1"
+        assert lines[1] == "  b     : 2"
+
+    def test_title(self):
+        text = render_kv([["k", "v"]], title="Header")
+        assert text.splitlines()[0] == "Header"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReportingError):
+            render_kv([])

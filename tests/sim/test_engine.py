@@ -1,0 +1,236 @@
+"""Discrete-event engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+
+
+class TestTimeouts:
+    def test_single_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5.0]
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_zero_timeout_fires_immediately(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(0.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [0.0]
+
+
+class TestProcessInterleaving:
+    def test_two_processes_interleave_by_time(self):
+        env = Environment()
+        log = []
+
+        def worker(name, delay):
+            yield env.timeout(delay)
+            log.append((name, env.now))
+
+        env.process(worker("slow", 10.0))
+        env.process(worker("fast", 1.0))
+        env.run()
+        assert log == [("fast", 1.0), ("slow", 10.0)]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        env = Environment()
+        log = []
+
+        def worker(name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == ["a", "b"]
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(100.0)
+            log.append("late")
+
+        env.process(proc())
+        env.run(until=10.0)
+        assert log == []
+        assert env.now == 10.0
+
+    def test_process_return_value_on_completion_event(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            return 42
+
+        results = []
+
+        def parent():
+            proc = env.process(child())
+            yield proc
+            results.append(proc.value)
+
+        env.process(parent())
+        env.run()
+        assert results == [42]
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 7  # type: ignore[misc]
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+
+class TestManualEvents:
+    def test_succeed_wakes_waiter(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter():
+            yield gate
+            log.append(("woke", env.now, gate.value))
+
+        def opener():
+            yield env.timeout(3.0)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert log == [("woke", 3.0, "open")]
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+
+class TestResources:
+    def test_fifo_queueing(self):
+        env = Environment()
+        disk = env.resource(capacity=1, name="disk")
+        log = []
+
+        def client(name, service):
+            request = disk.request()
+            yield request
+            start = env.now
+            yield env.timeout(service)
+            disk.release()
+            log.append((name, start, env.now))
+
+        env.process(client("a", 2.0))
+        env.process(client("b", 1.0))
+        env.run()
+        assert log == [("a", 0.0, 2.0), ("b", 2.0, 3.0)]
+
+    def test_capacity_two_serves_in_parallel(self):
+        env = Environment()
+        pool = env.resource(capacity=2)
+        done = []
+
+        def client(name):
+            request = pool.request()
+            yield request
+            yield env.timeout(1.0)
+            pool.release()
+            done.append((name, env.now))
+
+        for name in ("a", "b", "c"):
+            env.process(client(name))
+        env.run()
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_mean_wait_tracked(self):
+        env = Environment()
+        disk = env.resource(capacity=1)
+
+        def client(service):
+            request = disk.request()
+            yield request
+            yield env.timeout(service)
+            disk.release()
+
+        env.process(client(4.0))
+        env.process(client(1.0))
+        env.run()
+        assert disk.total_served == 2
+        assert disk.mean_wait == pytest.approx(2.0)  # (0 + 4) / 2.
+
+    def test_release_idle_rejected(self):
+        env = Environment()
+        disk = env.resource()
+        with pytest.raises(SimulationError):
+            disk.release()
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        disk = env.resource(capacity=1)
+        observed = []
+
+        def hog():
+            request = disk.request()
+            yield request
+            yield env.timeout(5.0)
+            disk.release()
+
+        def prober():
+            yield env.timeout(1.0)
+            request = disk.request()
+            observed.append(disk.queue_length)
+            yield request
+            disk.release()
+
+        env.process(hog())
+        env.process(prober())
+        env.run()
+        assert observed == [1]
+
+    def test_bad_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.resource(capacity=0)

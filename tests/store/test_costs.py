@@ -1,0 +1,61 @@
+"""Cost model and simulated clock tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.store.costs import DEFAULT_PAGE_SIZE, CostModel, SimClock
+
+
+class TestCostModel:
+    def test_defaults_are_io_dominated(self):
+        cost = CostModel()
+        assert cost.io_read_time > 100 * cost.cpu_object_time
+        assert cost.io_write_time >= cost.io_read_time
+
+    def test_default_page_size_matches_paper(self):
+        assert DEFAULT_PAGE_SIZE == 4096
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParameterError):
+            CostModel(io_read_time=-1.0)
+        with pytest.raises(ParameterError):
+            CostModel(swizzle_time=-0.1)
+
+    def test_frozen(self):
+        cost = CostModel()
+        with pytest.raises(AttributeError):
+            cost.io_read_time = 5.0  # type: ignore[misc]
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            SimClock().advance(-0.1)
+
+    def test_marks(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.mark("phase")
+        clock.advance(2.5)
+        assert clock.since("phase") == pytest.approx(2.5)
+
+    def test_unknown_mark(self):
+        with pytest.raises(ParameterError):
+            SimClock().since("nope")
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.mark("m")
+        clock.reset()
+        assert clock.now == 0.0
+        with pytest.raises(ParameterError):
+            clock.since("m")

@@ -1,0 +1,114 @@
+"""Failure injection: the store must fail loudly, never silently.
+
+A benchmark's numbers are worthless if the substrate quietly corrupts or
+drops data; these tests inject faults and assert the store either raises
+a :class:`~repro.errors.StorageError` or keeps serving correct bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError, UnknownObject
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore
+
+
+def build_store(page_size=256, buffer_pages=4, count=12, filler=40):
+    store = ObjectStore(page_size=page_size, buffer_pages=buffer_pages)
+    records = [StoredObject(oid=i + 1, cid=1, refs=(1,), filler=filler)
+               for i in range(count)]
+    store.bulk_load(records)
+    store.reset_stats()
+    return store, records
+
+
+class TestDiskCorruption:
+    def test_corrupt_page_surfaces_as_storage_error(self):
+        store, _ = build_store()
+        # Flip the magic bytes of the first object on disk.
+        page = bytearray(store.disk.peek(0))
+        page[0] ^= 0xFF
+        store.disk.poke(0, bytes(page))
+        store.drop_caches()
+        with pytest.raises(StorageError):
+            store.read_object(1)
+
+    def test_zeroed_page_detected(self):
+        store, _ = build_store()
+        store.disk.poke(0, b"\x00" * 256)
+        store.drop_caches()
+        with pytest.raises(StorageError):
+            store.read_object(1)
+
+    def test_corruption_on_unread_page_does_not_affect_others(self):
+        store, records = build_store()
+        last = records[-1]
+        last_page = store.pages_of(last.oid)[0]
+        first_page = store.pages_of(records[0].oid)[0]
+        if last_page == first_page:
+            pytest.skip("database too small to isolate pages")
+        page = bytearray(store.disk.peek(first_page))
+        page[0] ^= 0xFF
+        store.disk.poke(first_page, bytes(page))
+        store.drop_caches()
+        assert store.read_object(last.oid) == last
+
+
+class TestCachePressure:
+    def test_thrashing_never_corrupts(self):
+        store, records = build_store(buffer_pages=1, filler=200)
+        for _ in range(3):
+            for record in records:
+                assert store.read_object(record.oid) == record
+            for record in reversed(records):
+                assert store.read_object(record.oid) == record
+
+    def test_dirty_data_survives_thrashing(self):
+        store, records = build_store(buffer_pages=1)
+        updated = records[0].with_refs((5,))
+        store.write_object(updated)
+        # Evict the dirty page repeatedly.
+        for record in records[1:]:
+            store.read_object(record.oid)
+        assert store.read_object(1) == updated
+
+    def test_interleaved_updates_and_reorganizations(self):
+        store, records = build_store(buffer_pages=2)
+        current = {r.oid: r for r in records}
+        for round_number in range(3):
+            victim = records[round_number].oid
+            current[victim] = current[victim].with_refs((victim,))
+            store.write_object(current[victim])
+            store.reorganize(list(reversed(store.current_order())))
+            for oid, record in current.items():
+                assert store.read_object(oid) == record
+
+
+class TestApiMisuse:
+    def test_read_after_delete(self):
+        store, _ = build_store()
+        store.delete_object(3)
+        with pytest.raises(UnknownObject):
+            store.read_object(3)
+
+    def test_double_delete(self):
+        store, _ = build_store()
+        store.delete_object(3)
+        with pytest.raises(UnknownObject):
+            store.delete_object(3)
+
+    def test_reorganize_with_stale_oid_set(self):
+        store, _ = build_store()
+        order = store.current_order()
+        store.delete_object(order[0])
+        with pytest.raises(StorageError):
+            store.reorganize(order)  # Contains the deleted oid.
+
+    def test_insert_then_read_consistency_after_corrupt_unrelated_write(self):
+        store, _ = build_store()
+        new = StoredObject(oid=999, cid=7, filler=10)
+        store.insert_object(new)
+        store.flush()
+        store.drop_caches()
+        assert store.read_object(999) == new

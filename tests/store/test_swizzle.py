@@ -1,0 +1,82 @@
+"""Swizzle table tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.costs import CostModel, SimClock
+from repro.store.swizzle import SwizzleTable
+
+
+@pytest.fixture
+def table():
+    return SwizzleTable()
+
+
+class TestSwizzleIn:
+    def test_assigns_addresses(self, table):
+        count = table.swizzle_in(0, [1, 2, 3])
+        assert count == 3
+        assert table.is_swizzled(2)
+        assert table.resident_count == 3
+
+    def test_addresses_are_distinct(self, table):
+        table.swizzle_in(0, [1, 2, 3])
+        addresses = {table.address_of(oid) for oid in (1, 2, 3)}
+        assert len(addresses) == 3
+
+    def test_already_swizzled_not_recounted(self, table):
+        table.swizzle_in(0, [1, 2])
+        count = table.swizzle_in(1, [2, 3])
+        assert count == 1
+        assert table.stats.swizzled == 3
+
+    def test_address_stable_across_pages(self, table):
+        table.swizzle_in(0, [5])
+        first = table.address_of(5)
+        table.swizzle_in(1, [5])
+        assert table.address_of(5) == first
+
+
+class TestUnswizzle:
+    def test_page_eviction_clears_objects(self, table):
+        table.swizzle_in(0, [1, 2])
+        removed = table.unswizzle_page(0)
+        assert removed == 2
+        assert not table.is_swizzled(1)
+        assert table.address_of(1) is None
+
+    def test_object_spanning_pages_survives(self, table):
+        table.swizzle_in(0, [1])
+        table.swizzle_in(1, [1, 2])
+        table.unswizzle_page(0)
+        assert table.is_swizzled(1)  # Still on resident page 1.
+        table.unswizzle_page(1)
+        assert not table.is_swizzled(1)
+
+    def test_unknown_page_is_noop(self, table):
+        assert table.unswizzle_page(42) == 0
+
+
+class TestAccounting:
+    def test_clock_charged(self):
+        clock = SimClock()
+        table = SwizzleTable(CostModel(swizzle_time=0.001), clock)
+        table.swizzle_in(0, [1, 2, 3])
+        assert clock.now == pytest.approx(0.003)
+        table.unswizzle_page(0)
+        assert clock.now == pytest.approx(0.006)
+
+    def test_stats_subtraction(self, table):
+        table.swizzle_in(0, [1])
+        snap = table.stats.snapshot()
+        table.swizzle_in(1, [2, 3])
+        delta = table.stats.snapshot() - snap
+        assert delta.swizzled == 2
+
+    def test_clear_and_reset(self, table):
+        table.swizzle_in(0, [1])
+        table.clear()
+        assert table.resident_count == 0
+        table.reset_stats()
+        assert table.stats.swizzled == 0

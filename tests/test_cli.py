@@ -1,0 +1,111 @@
+"""CLI tests (fast subcommands only; the heavy tables are covered by
+benchmarks and tests/test_experiments.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_tables_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "--id", "9"])
+
+
+class TestInfoAndPresets:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "EDBT" in out
+
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "default-small" in out
+        assert "dstc-club" in out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["tables", "--id", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "NC" in out and "20000" in out and "Uniform" in out
+
+    def test_table2(self, capsys):
+        assert main(["tables", "--id", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "STODEPTH" in out and "10000" in out
+
+    def test_table3(self, capsys):
+        assert main(["tables", "--id", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PartId - RefZone" in out
+        assert "Special" in out
+
+
+class TestGenerateAndRun:
+    def test_generate(self, capsys):
+        assert main(["generate", "--preset", "default-small"]) == 0
+        out = capsys.readouterr().out
+        assert "objects" in out
+        assert "2000" in out
+
+    def test_generate_with_seed_and_validation(self, capsys):
+        assert main(["generate", "--preset", "default-small",
+                     "--seed", "5", "--validate"]) == 0
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--preset", "default-small",
+                     "--buffer-pages", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Warm-run metrics" in out
+        assert "all" in out
+
+    def test_fig4_tiny(self, capsys):
+        assert main(["fig4", "--sizes", "10", "50",
+                     "--classes", "1", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_fig4_chart(self, capsys):
+        assert main(["fig4", "--sizes", "10", "50", "--classes", "1",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "log-log" in out
+
+    def test_qualitative(self, capsys):
+        assert main(["qualitative"]) == 0
+        out = capsys.readouterr().out
+        assert "parameter_simplicity" in out
+        assert "dstc" in out
+
+
+@pytest.mark.slow
+class TestExperimentCommands:
+    def test_table4_tiny(self, capsys):
+        assert main(["table4", "--objects", "2000", "--transactions", "6",
+                     "--buffer-pages", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "DSTC-CluB" in out
+
+    def test_table5_tiny(self, capsys):
+        assert main(["table5", "--objects", "1000", "--transactions", "10",
+                     "--buffer-pages", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out

@@ -1,0 +1,87 @@
+"""Qualitative evaluation grid tests (paper Section 5 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.base import NoClustering
+from repro.clustering.dro import DROPolicy
+from repro.clustering.dstc import DSTCParameters, DSTCPolicy
+from repro.clustering.placements import StaticPolicy
+from repro.errors import ParameterError
+from repro.qualitative import (
+    CRITERIA,
+    QualitativeAssessment,
+    assess_policy,
+    render_assessments,
+)
+from repro.store.serializer import StoredObject
+
+
+def records():
+    return {1: StoredObject(oid=1, cid=1, refs=(2,)),
+            2: StoredObject(oid=2, cid=1, refs=())}
+
+
+class TestCriteria:
+    def test_grid_covers_the_papers_examples(self):
+        keys = {c.key for c in CRITERIA}
+        # "parameters easy to apprehend and set up", "easy to use /
+        # transparent to the user" — straight from Section 5.
+        assert "parameter_simplicity" in keys
+        assert "transparency" in keys
+
+    def test_assessment_validation(self):
+        with pytest.raises(ParameterError):
+            QualitativeAssessment("x", scores={"nope": 1})
+        with pytest.raises(ParameterError):
+            QualitativeAssessment("x", scores={"transparency": 9})
+
+
+class TestAssessments:
+    def test_no_clustering_is_transparent_and_cheap(self):
+        assessment = assess_policy(NoClustering())
+        assert assessment.score("transparency") == 4
+        assert assessment.score("bookkeeping_cost") == 4
+        assert assessment.score("adaptivity") == 0
+
+    def test_dstc_trades_cost_for_adaptivity(self):
+        assessment = assess_policy(DSTCPolicy())
+        assert assessment.score("adaptivity") == 4
+        assert assessment.score("bookkeeping_cost") <= 2
+        assert assessment.score("transparency") <= 3  # Observes accesses.
+
+    def test_dro_is_cheaper_than_dstc(self):
+        dstc = assess_policy(DSTCPolicy())
+        dro = assess_policy(DROPolicy())
+        assert dro.score("bookkeeping_cost") > dstc.score("bookkeeping_cost")
+
+    def test_static_scores(self):
+        assessment = assess_policy(StaticPolicy(records()))
+        assert assessment.score("adaptivity") == 0
+        assert assessment.score("predictability") == 4
+
+    def test_dstc_autonomy_reflects_trigger_capability(self):
+        assessment = assess_policy(
+            DSTCPolicy(DSTCParameters(trigger_period=50)))
+        assert assessment.score("autonomy") == 4
+
+    def test_totals_are_sum_of_scores(self):
+        assessment = assess_policy(DSTCPolicy())
+        assert assessment.total == sum(assessment.score(c.key)
+                                       for c in CRITERIA)
+
+
+class TestRendering:
+    def test_table_has_one_column_per_policy(self):
+        table = render_assessments([assess_policy(NoClustering()),
+                                    assess_policy(DSTCPolicy())])
+        assert "none" in table
+        assert "dstc" in table
+        assert "TOTAL" in table
+        for criterion in CRITERIA:
+            assert criterion.key in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            render_assessments([])

@@ -1,0 +1,111 @@
+"""Statistics helper tests (cross-checked against numpy/scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.errors import ParameterError
+from repro.stats import Summary, confidence_interval, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.5], 95) == 7.5
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=50).tolist()
+        for q in (10, 25, 50, 75, 90, 95):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            percentile([], 50)
+        with pytest.raises(ParameterError):
+            percentile([1], 101)
+
+
+class TestConfidenceInterval:
+    def test_zero_for_tiny_samples(self):
+        assert confidence_interval([]) == 0.0
+        assert confidence_interval([5.0]) == 0.0
+
+    def test_zero_variance(self):
+        assert confidence_interval([3.0, 3.0, 3.0]) == 0.0
+
+    def test_matches_scipy_t_interval(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(10, 2, size=12).tolist()
+        n = len(values)
+        mean = float(np.mean(values))
+        sem = float(scipy_stats.sem(values))
+        low, high = scipy_stats.t.interval(0.95, n - 1, loc=mean, scale=sem)
+        half_width = (high - low) / 2
+        assert confidence_interval(values) == pytest.approx(half_width,
+                                                            rel=1e-3)
+
+    def test_large_samples_use_normal_approximation(self):
+        values = list(np.random.default_rng(3).normal(0, 1, size=100))
+        expected = 1.96 * float(np.std(values, ddof=1)) / np.sqrt(100)
+        assert confidence_interval(values) == pytest.approx(expected,
+                                                            rel=1e-6)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_stdev_matches_numpy(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert summarize(values).stdev == pytest.approx(
+            float(np.std(values, ddof=1)))
+
+    def test_single_sample(self):
+        summary = summarize([42.0])
+        assert summary.stdev == 0.0
+        assert summary.ci95 == 0.0
+        assert summary.p95 == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+    def test_describe_format(self):
+        text = summarize([1.0, 2.0]).describe(unit="ms")
+        assert "±" in text and "ms" in text and "n=2" in text
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False),
+                       min_size=1, max_size=60))
+def test_summary_invariants(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.median <= summary.maximum
+    # Mean may exceed the extremes by float rounding only.
+    slack = 1e-9 * max(1.0, abs(summary.minimum), abs(summary.maximum))
+    assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+    assert summary.stdev >= 0.0
+    assert summary.ci95 >= 0.0
+    assert summary.count == len(values)
