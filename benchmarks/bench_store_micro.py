@@ -13,6 +13,10 @@ from repro.rand.lewis_payne import LewisPayne
 from repro.store.serializer import StoredObject, decode_object, encode_object
 from repro.store.storage import ObjectStore
 
+# When the pytest-benchmark plugin is unavailable, every test here is
+# skipped cleanly by conftest.pytest_collection_modifyitems (they all
+# use the ``benchmark`` fixture).
+
 
 def make_records(count, filler=60):
     return [StoredObject(oid=i + 1, cid=1 + i % 5,

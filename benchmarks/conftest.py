@@ -11,6 +11,25 @@ from __future__ import annotations
 import sys
 from typing import Mapping
 
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Degrade cleanly when the pytest-benchmark plugin is unavailable.
+
+    Without the plugin (not installed, or disabled with
+    ``-p no:benchmark``) the ``benchmark`` fixture does not exist and
+    every bench using it errors at setup.  Skip those benches instead,
+    so ``pytest benchmarks/`` still runs the plugin-free ones (e.g.
+    ``bench_backends.py``).
+    """
+    if config.pluginmanager.hasplugin("benchmark"):
+        return
+    skip = pytest.mark.skip(reason="pytest-benchmark plugin not available")
+    for item in items:
+        if "benchmark" in getattr(item, "fixturenames", ()):
+            item.add_marker(skip)
+
 
 def attach_paper_comparison(benchmark, measured: Mapping[str, float],
                             paper: Mapping[str, float]) -> None:

@@ -1,11 +1,71 @@
-"""Legacy setup shim.
+"""Packaging for the OCB reproduction.
 
 The reference environment is offline and lacks the ``wheel`` package, so
-``pip install -e .`` must use the classic ``setup.py develop`` code path.
-All metadata lives in pyproject.toml; this file only hands control to
-setuptools.
+``pip install -e .`` / ``pip install .`` must use the classic
+``setup.py`` code path — all metadata therefore lives here (there is no
+pyproject.toml on purpose).  The ``console_scripts`` entry point
+guarantees the ``ocb`` command exists after installation.
 """
 
-from setuptools import setup
+import os.path
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def _read_version():
+    namespace = {}
+    with open(os.path.join(_HERE, "src", "repro", "_version.py"),
+              encoding="utf-8") as handle:
+        exec(handle.read(), namespace)
+    return namespace["__version__"]
+
+
+def _read_long_description():
+    readme = os.path.join(_HERE, "README.md")
+    if not os.path.exists(readme):
+        return ""
+    with open(readme, encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="ocb-repro",
+    version=_read_version(),
+    description="Reproduction of OCB, the generic object-oriented "
+                "database benchmark (Darmont, Petit & Schneider, "
+                "EDBT '98), with pluggable storage backends",
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    url="https://example.invalid/ocb-repro",
+    keywords=["benchmark", "oodb", "object database", "clustering",
+              "OCB", "reproduction"],
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+        "Topic :: System :: Benchmark",
+    ],
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[],  # Standard library only, by design.
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "ocb=repro.cli:main",
+        ],
+    },
+)

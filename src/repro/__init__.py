@@ -8,17 +8,29 @@ Public API highlights:
 * :class:`repro.clustering.DSTCPolicy` — the clustering technique the
   paper evaluates,
 * :class:`repro.store.ObjectStore` — the Texas-like persistent store,
+* :mod:`repro.backends` — pluggable storage engines (simulated, memory,
+  SQLite) behind one :class:`~repro.backends.Backend` protocol,
 * :mod:`repro.comparators` — OO1, DSTC-CluB, HyperModel and OO7.
 """
 
 from repro._version import __version__
 from repro.errors import (
+    BackendError,
     ClusteringError,
     GenerationError,
     ParameterError,
     ReproError,
     StorageError,
     WorkloadError,
+)
+from repro.backends import (
+    Backend,
+    MemoryBackend,
+    SimulatedBackend,
+    SQLiteBackend,
+    available_backends,
+    create_backend,
+    register_backend,
 )
 from repro.rand import DEFAULT_SEED, LewisPayne
 from repro.core import (
@@ -50,8 +62,16 @@ __all__ = [
     "ParameterError",
     "GenerationError",
     "StorageError",
+    "BackendError",
     "ClusteringError",
     "WorkloadError",
+    "Backend",
+    "SimulatedBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
     "DEFAULT_SEED",
     "LewisPayne",
     "OCBBenchmark",

@@ -1,0 +1,164 @@
+"""The storage-backend abstraction: one workload, many engines.
+
+OCB's defining claim is *genericity* — the same schema, generator and
+workload should benchmark **any** object store.  :class:`Backend` is the
+contract that makes that concrete: anything that can
+
+* :meth:`~Backend.bulk_load` a generated database,
+* :meth:`~Backend.read_object` / :meth:`~Backend.write_object` /
+  :meth:`~Backend.insert_object` / :meth:`~Backend.delete_object`
+  individual records,
+* :meth:`~Backend.traverse_refs` an object's outgoing references, and
+* report :meth:`~Backend.stats`
+
+can run the full cold/warm protocol unchanged.  The workload runner only
+ever talks to this surface, so a new engine (LMDB, Redis, a sharded
+store) is a ~100-line adapter away.
+
+Two kinds of metrics coexist:
+
+* **simulated costs** — backends built on the cost-model substrate (the
+  :class:`~repro.backends.simulated.SimulatedBackend`) charge page reads,
+  write backs and swizzling on a :class:`~repro.store.costs.SimClock`;
+* **wall-clock latency** — every backend, real or simulated, is timed by
+  the runner, so cross-backend comparisons quote P50/P95/P99 percentiles
+  of real elapsed time.
+
+Backends that do not simulate anything simply leave the simulated
+counters at zero; :meth:`Backend.snapshot` returns the same
+:class:`~repro.store.storage.StoreSnapshot` shape either way, which keeps
+the metrics pipeline identical for all engines.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.store.buffer import BufferStats
+from repro.store.costs import CostModel, SimClock
+from repro.store.disk import DiskStats
+from repro.store.serializer import StoredObject
+from repro.store.storage import StoreSnapshot
+from repro.store.swizzle import SwizzleStats
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """Abstract storage engine driven by the OCB workload.
+
+    Subclasses implement the lifecycle methods; the base class provides
+    the shared accounting surface the workload runner expects
+    (``snapshot``, ``clock``, ``cost_model``, ``object_accesses``) with
+    all simulated counters at zero.  Cost-model backends override
+    :meth:`snapshot` to expose their real simulated counters.
+    """
+
+    #: Registry name (set on subclasses; instances may override).
+    name: str = "abstract"
+
+    #: Whether the engine supports physical reorganization (clustering
+    #: policies).  Only the simulated store does today.
+    supports_clustering: bool = False
+
+    def __init__(self) -> None:
+        self.object_accesses = 0
+        self.clock = SimClock()
+        self.cost_model = CostModel()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (the protocol proper)
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def bulk_load(self, records: Iterable[StoredObject],
+                  order: Optional[Sequence[int]] = None) -> int:
+        """Load a generated database, optionally in a placement *order*.
+
+        Returns the number of storage units materialised (pages for paged
+        engines, rows otherwise).  The backend must be empty.
+        """
+
+    @abc.abstractmethod
+    def read_object(self, oid: int) -> StoredObject:
+        """Fetch one object; raise :class:`~repro.errors.UnknownObject`
+        if *oid* is not stored."""
+
+    @abc.abstractmethod
+    def write_object(self, record: StoredObject) -> None:
+        """Update an existing object in place."""
+
+    @abc.abstractmethod
+    def insert_object(self, record: StoredObject) -> None:
+        """Persist a brand-new object."""
+
+    @abc.abstractmethod
+    def delete_object(self, oid: int) -> None:
+        """Remove an object."""
+
+    def traverse_refs(self, oid: int) -> Tuple[int, ...]:
+        """Non-NIL forward references of *oid* (one graph hop).
+
+        The default implementation reads the object and filters its
+        reference slots; engines with native link storage may override.
+        """
+        return self.read_object(oid).non_null_refs()
+
+    @abc.abstractmethod
+    def stats(self) -> Dict[str, object]:
+        """Engine-specific statistics (configuration, sizes, counters)."""
+
+    def close(self) -> None:
+        """Release any engine resources (connections, files)."""
+
+    # ------------------------------------------------------------------ #
+    # Accounting surface shared with the workload runner
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def object_count(self) -> int:
+        """Number of live objects."""
+
+    def snapshot(self) -> StoreSnapshot:
+        """Metrics snapshot; simulated counters are zero for real engines.
+
+        ``sim_time`` is pinned to zero regardless of the internal clock:
+        the runner charges think-time latency on ``clock`` for engines
+        that simulate costs, but a wall-clock-only engine must never
+        report it as simulated response time.
+        """
+        return StoreSnapshot(disk=DiskStats(),
+                             buffer=BufferStats(),
+                             swizzle=SwizzleStats(),
+                             object_accesses=self.object_accesses,
+                             sim_time=0.0)
+
+    def reset_stats(self) -> None:
+        """Zero the accounting counters (stored data is untouched)."""
+        self.object_accesses = 0
+
+    def current_order(self) -> List[int]:
+        """Object ids in physical (or canonical) storage order."""
+        return sorted(self.iter_oids())
+
+    @abc.abstractmethod
+    def iter_oids(self) -> Iterable[int]:
+        """Iterate over stored object ids (unspecified order)."""
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, oid: int) -> bool:
+        return any(stored == oid for stored in self.iter_oids())
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,104 @@
+"""Name-based backend registry.
+
+Backends register a *factory* taking the experiment's
+:class:`~repro.store.storage.StoreConfig` (so page-size / buffer-size
+ablations carry over to engines that honour them) plus free-form keyword
+options, and returning a ready :class:`~repro.backends.base.Backend`.
+
+The CLI (``ocb backends``, ``--backend NAME``), the benchmark facade and
+the cross-backend harness all resolve engines exclusively through this
+module, so registering a new adapter makes it available everywhere at
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.backends.base import Backend
+from repro.errors import BackendError
+from repro.store.storage import StoreConfig
+
+__all__ = [
+    "BackendFactory",
+    "BackendInfo",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_names",
+    "create_backend",
+]
+
+BackendFactory = Callable[..., Backend]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registry entry."""
+
+    name: str
+    factory: BackendFactory
+    description: str
+    wall_clock_only: bool = True  # No simulated cost model.
+
+    def create(self, store_config: Optional[StoreConfig] = None,
+               **options: object) -> Backend:
+        """Instantiate the backend for one experiment."""
+        return self.factory(store_config or StoreConfig(), **options)
+
+
+_REGISTRY: Dict[str, BackendInfo] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, description: str,
+                     wall_clock_only: bool = True,
+                     overwrite: bool = False) -> BackendInfo:
+    """Register *factory* under *name*; raise on duplicates.
+
+    ``factory(store_config, **options)`` must return a fresh
+    :class:`Backend`.  Pass ``overwrite=True`` to replace an entry
+    (useful in tests and notebooks).
+    """
+    key = name.strip().lower()
+    if not key:
+        raise BackendError("backend name must be non-empty")
+    if key in _REGISTRY and not overwrite:
+        raise BackendError(f"backend {key!r} is already registered")
+    info = BackendInfo(name=key, factory=factory, description=description,
+                       wall_clock_only=wall_clock_only)
+    _REGISTRY[key] = info
+    return info
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registry entry (no-op if absent)."""
+    _REGISTRY.pop(name.strip().lower(), None)
+
+
+def available_backends() -> List[BackendInfo]:
+    """All registered backends, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def backend_names() -> List[str]:
+    """Sorted registered names (CLI choices)."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, store_config: Optional[StoreConfig] = None,
+                   **options: object) -> Backend:
+    """Instantiate the backend registered as *name*.
+
+    The *store_config* is forwarded so engines can honour the
+    experiment's page size and buffer budget; unknown names raise
+    :class:`~repro.errors.BackendError` listing the alternatives.
+    """
+    key = name.strip().lower()
+    try:
+        info = _REGISTRY[key]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+    return info.create(store_config, **options)

@@ -4,6 +4,7 @@ Subcommands::
 
     ocb info                      package / experiment overview
     ocb presets                   list parameter presets
+    ocb backends                  list registered storage backends
     ocb generate  [--preset P]    generate a database, print statistics
     ocb run       [--preset P]    generate + run the cold/warm protocol
     ocb tables --id {1,2,3}       print the paper's parameter tables
@@ -11,17 +12,22 @@ Subcommands::
     ocb table4                    reproduce Table 4 (DSTC-CluB vs OCB)
     ocb table5                    reproduce Table 5 (OCB defaults)
 
-All experiment commands accept ``--scale``-style size flags so the full
-paper-scale runs (slow in pure Python) remain one flag away.
+``generate`` and ``run`` accept ``--backend NAME`` (see ``ocb
+backends``) to target any registered storage engine; runs against real
+engines report wall-clock latency percentiles next to the simulated
+costs.  All experiment commands accept ``--scale``-style size flags so
+the full paper-scale runs (slow in pure Python) remain one flag away.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
+from repro.backends import available_backends, backend_names, create_backend
 from repro.core.benchmark import OCBBenchmark
 from repro.core.generation import generate_database
 from repro.core.presets import (
@@ -58,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="package and experiment overview")
     sub.add_parser("presets", help="list parameter presets")
+    sub.add_parser("backends", help="list registered storage backends")
 
     generate = sub.add_parser("generate", help="generate a database")
     generate.add_argument("--preset", default="default-small",
@@ -65,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument("--validate", action="store_true",
                           help="run structural validation after generation")
+    generate.add_argument("--backend", default=None,
+                          choices=backend_names(),
+                          help="also bulk-load the database into this "
+                               "backend and report load statistics")
+    generate.add_argument("--sqlite-path", default=":memory:",
+                          help="database file for --backend sqlite "
+                               "(default: in-memory)")
 
     run = sub.add_parser("run", help="generate and run the workload")
     run.add_argument("--preset", default="default-small",
@@ -73,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--placement", default="sequential",
                      choices=("sequential", "by_class", "depth_first",
                               "breadth_first"))
+    run.add_argument("--backend", default="simulated",
+                     choices=backend_names(),
+                     help="storage engine to drive (default: simulated)")
+    run.add_argument("--sqlite-path", default=":memory:",
+                     help="database file for --backend sqlite "
+                          "(default: in-memory)")
 
     tables = sub.add_parser("tables", help="print the paper's parameter tables")
     tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
@@ -122,6 +142,15 @@ def _cmd_presets() -> str:
                         title="Parameter presets")
 
 
+def _cmd_backends() -> str:
+    rows = [[info.name,
+             "simulated + wall" if not info.wall_clock_only else "wall only",
+             info.description]
+            for info in available_backends()]
+    return render_table(["backend", "metrics", "description"], rows,
+                        title="Registered storage backends")
+
+
 def _cmd_generate(args: argparse.Namespace) -> str:
     db_params, _ = preset(args.preset)
     if args.seed is not None:
@@ -140,22 +169,55 @@ def _cmd_generate(args: argparse.Namespace) -> str:
         ("avg object bytes", f"{stats.average_object_bytes:.1f}"),
         ("avg fan-out", f"{stats.average_fanout:.2f}"),
     ]
+    if args.backend is not None:
+        backend = create_backend(args.backend, StoreConfig(),
+                                 **_backend_options(args))
+        try:
+            records = database.to_records()
+            start = time.perf_counter()
+            units = backend.bulk_load(records.values(),
+                                      order=sorted(records))
+            elapsed = time.perf_counter() - start
+            pairs.extend([
+                ("backend", args.backend),
+                ("bulk load", f"{elapsed:.3f} s"),
+                ("storage units", units),
+            ])
+        finally:
+            backend.close()
     return render_kv(pairs, title="Database generated")
+
+
+def _backend_options(args: argparse.Namespace) -> dict:
+    if getattr(args, "backend", None) == "sqlite":
+        return {"path": args.sqlite_path}
+    return {}
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
     db_params, wl_params = preset(args.preset)
+    if args.backend != "simulated" and args.placement != "sequential":
+        print(f"note: --placement only affects physical layout on the "
+              f"simulated backend; the {args.backend!r} engine manages "
+              f"its own layout", file=sys.stderr)
     bench = OCBBenchmark(db_params, wl_params,
                          StoreConfig(buffer_pages=args.buffer_pages),
-                         initial_placement=args.placement)
+                         initial_placement=args.placement,
+                         backend=args.backend,
+                         backend_options=_backend_options(args))
     result = bench.run()
+    warm = result.report.warm
+    wall = warm.wall_percentiles()
     lines = [result.describe(), "",
              render_table(
                  ["kind", "n", "objects/txn", "reads/txn", "IOs/txn",
                   "t_sim/txn (s)"],
-                 result.report.warm.rows(),
+                 warm.rows(),
                  title="Warm-run metrics per transaction type",
-                 precision=3)]
+                 precision=3),
+             "",
+             f"wall-clock latency (warm, {wall.count} txns): "
+             f"{wall.describe()}"]
     return "\n".join(lines)
 
 
@@ -228,12 +290,23 @@ def _cmd_fig4(args: argparse.Namespace) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.errors import ReproError
+    try:
+        return _dispatch(argv)
+    except ReproError as exc:
+        print(f"ocb: error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(argv: Optional[Sequence[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "info":
         print(_cmd_info())
     elif args.command == "presets":
         print(_cmd_presets())
+    elif args.command == "backends":
+        print(_cmd_backends())
     elif args.command == "generate":
         print(_cmd_generate(args))
     elif args.command == "run":

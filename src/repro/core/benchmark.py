@@ -12,8 +12,9 @@ here (:func:`~repro.core.generation.generate_database`,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
+from repro.backends import Backend, SimulatedBackend, resolve_backend
 from repro.clustering.base import ClusteringPolicy, NoClustering
 from repro.clustering.placements import placement_from_name
 from repro.core.database import DatabaseStatistics, OCBDatabase
@@ -39,21 +40,25 @@ class BenchmarkResult:
     generation: GenerationReport
     report: WorkloadReport
     store_pages: int
+    backend_name: str = "simulated"
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
         warm = self.report.warm.totals
+        wall = self.report.warm.wall_percentiles()
         lines = [
             "OCB benchmark result",
             f"  database : {self.database_statistics.describe()}",
             f"  generated in {self.generation.total_seconds:.3f}s "
             f"({self.generation.removed_references} refs removed by "
             f"consistency)",
+            f"  backend  : {self.backend_name}",
             f"  store    : {self.store_pages} pages",
             f"  warm run : {warm.count} transactions, "
             f"{warm.visits_per_transaction:.1f} objects/txn, "
             f"{warm.reads_per_transaction:.2f} reads/txn, "
             f"{warm.hit_ratio * 100:.1f}% buffer hits",
+            f"  wall/txn : {wall.describe()}",
         ]
         return "\n".join(lines)
 
@@ -66,7 +71,9 @@ class OCBBenchmark:
                  workload_parameters: Optional[WorkloadParameters] = None,
                  store_config: Optional[StoreConfig] = None,
                  policy: Optional[ClusteringPolicy] = None,
-                 initial_placement: str = "sequential") -> None:
+                 initial_placement: str = "sequential",
+                 backend: Union[str, Backend, None] = None,
+                 backend_options: Optional[dict] = None) -> None:
         self.database_parameters = (database_parameters
                                     or default_database_parameters())
         self.workload_parameters = (workload_parameters
@@ -74,8 +81,13 @@ class OCBBenchmark:
         self.store_config = store_config or StoreConfig()
         self.policy = policy or NoClustering()
         self.initial_placement = initial_placement
+        self.backend_spec = backend
+        self.backend_options = dict(backend_options or {})
         self.database: Optional[OCBDatabase] = None
         self.generation: Optional[GenerationReport] = None
+        self.backend: Optional[Backend] = None
+        #: The underlying simulated store when the backend has one
+        #: (clustering experiments require it); ``None`` for real engines.
         self.store: Optional[ObjectStore] = None
 
     # ------------------------------------------------------------------ #
@@ -83,39 +95,50 @@ class OCBBenchmark:
     # ------------------------------------------------------------------ #
 
     def setup(self, validate: bool = False) -> OCBDatabase:
-        """Generate the database and bulk-load it into a fresh store."""
+        """Generate the database and bulk-load it into a fresh backend."""
         self.database, self.generation = generate_database(
             self.database_parameters, validate=validate)
-        self.store = self.store_config.build()
+        self.backend = resolve_backend(self.backend_spec, self.store_config,
+                                       **self.backend_options)
+        self.store = self.backend.store \
+            if isinstance(self.backend, SimulatedBackend) else None
         records = self.database.to_records()
         strategy = placement_from_name(self.initial_placement)
         order = strategy(records)
-        self.store.bulk_load(records.values(), order=order)
-        self.store.reset_stats()
+        self.backend.bulk_load(records.values(), order=order)
+        self.backend.reset_stats()
         return self.database
 
     def run(self) -> BenchmarkResult:
         """Execute the cold/warm protocol (after :meth:`setup`)."""
-        if self.database is None or self.store is None:
+        if self.database is None or self.backend is None:
             self.setup()
-        assert self.database is not None and self.store is not None
+        assert self.database is not None and self.backend is not None
         assert self.generation is not None
-        runner = WorkloadRunner(self.database, self.store,
+        runner = WorkloadRunner(self.database, self.backend,
                                 self.workload_parameters, policy=self.policy)
         report = runner.run()
+        pages = self.store.page_count if self.store is not None \
+            else int(self.backend.stats().get("pages", 0) or 0)
         return BenchmarkResult(
             database_statistics=self.database.statistics(),
             generation=self.generation,
             report=report,
-            store_pages=self.store.page_count)
+            store_pages=pages,
+            backend_name=getattr(self.backend, "name",
+                                 type(self.backend).__name__))
 
     def run_clustering_experiment(self, label: str = "OCB",
                                   io_mode: str = "touched"
                                   ) -> ExperimentResult:
         """Run the Tables 4-5 before/after protocol with this config."""
-        if self.database is None or self.store is None:
+        if self.database is None or self.backend is None:
             self.setup()
-        assert self.database is not None and self.store is not None
+        assert self.database is not None
+        if self.store is None:
+            raise WorkloadError(
+                "clustering experiments need the simulated backend "
+                f"(current backend: {self.backend_spec!r})")
         if isinstance(self.policy, NoClustering):
             raise WorkloadError(
                 "a clustering experiment needs a clustering policy "

@@ -19,9 +19,37 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.transactions import TransactionKind, TransactionResult
+from repro.stats import percentile
 from repro.store.storage import StoreSnapshot
 
-__all__ = ["KindStats", "PhaseReport", "MetricsCollector"]
+__all__ = ["KindStats", "LatencyPercentiles", "PhaseReport",
+           "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class LatencyPercentiles:
+    """Wall-clock latency summary of a sample set (seconds)."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "LatencyPercentiles":
+        """Percentiles of *samples*; all-zero when no samples exist."""
+        if not samples:
+            return cls(count=0, p50=0.0, p95=0.0, p99=0.0)
+        return cls(count=len(samples),
+                   p50=percentile(samples, 50.0),
+                   p95=percentile(samples, 95.0),
+                   p99=percentile(samples, 99.0))
+
+    def describe(self, scale: float = 1e3, unit: str = "ms") -> str:
+        """One line, e.g. ``P50 0.12 ms | P95 0.50 ms | P99 0.91 ms``."""
+        return (f"P50 {self.p50 * scale:.3f} {unit} | "
+                f"P95 {self.p95 * scale:.3f} {unit} | "
+                f"P99 {self.p99 * scale:.3f} {unit}")
 
 
 @dataclass
@@ -38,6 +66,7 @@ class KindStats:
     sim_time: float = 0.0
     wall_time: float = 0.0
     truncated: int = 0
+    wall_samples: List[float] = field(default_factory=list)
 
     def add(self, result: TransactionResult, delta: StoreSnapshot,
             wall_seconds: float) -> None:
@@ -51,6 +80,7 @@ class KindStats:
         self.buffer_misses += delta.buffer.misses
         self.sim_time += delta.sim_time
         self.wall_time += wall_seconds
+        self.wall_samples.append(wall_seconds)
         if result.truncated:
             self.truncated += 1
 
@@ -66,6 +96,7 @@ class KindStats:
         self.sim_time += other.sim_time
         self.wall_time += other.wall_time
         self.truncated += other.truncated
+        self.wall_samples.extend(other.wall_samples)
 
     # Per-transaction means (0.0 when the kind never ran).
 
@@ -95,6 +126,15 @@ class KindStats:
         total = self.buffer_hits + self.buffer_misses
         return self.buffer_hits / total if total else 0.0
 
+    @property
+    def wall_time_per_transaction(self) -> float:
+        """Mean wall-clock response time per transaction (seconds)."""
+        return self.wall_time / self.count if self.count else 0.0
+
+    def wall_percentiles(self) -> LatencyPercentiles:
+        """Wall-clock latency percentiles over the kind's transactions."""
+        return LatencyPercentiles.from_samples(self.wall_samples)
+
 
 @dataclass
 class PhaseReport:
@@ -119,6 +159,10 @@ class PhaseReport:
     def kind(self, kind: TransactionKind) -> KindStats:
         """Stats for one kind (empty aggregate if it never ran)."""
         return self.per_kind.get(kind, KindStats())
+
+    def wall_percentiles(self) -> LatencyPercentiles:
+        """Wall-clock P50/P95/P99 over every transaction in the phase."""
+        return self.totals.wall_percentiles()
 
     def merge(self, other: "PhaseReport") -> None:
         """Fold another phase report into this one (multi-client)."""

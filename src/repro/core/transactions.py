@@ -30,8 +30,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
+from repro.backends.base import Backend
 from repro.clustering.base import ClusteringPolicy, NoClustering
 from repro.errors import WorkloadError
 from repro.rand.lewis_payne import LewisPayne
@@ -84,9 +85,14 @@ class TransactionResult:
 
 
 class AccessContext:
-    """Store + policy + catalog wiring shared by all transactions."""
+    """Store + policy + catalog wiring shared by all transactions.
 
-    def __init__(self, store: ObjectStore,
+    ``store`` may be the classic :class:`ObjectStore` or any
+    :class:`~repro.backends.base.Backend`; only the shared
+    ``read_object`` access path is used here.
+    """
+
+    def __init__(self, store: Union[ObjectStore, Backend],
                  policy: Optional[ClusteringPolicy] = None,
                  tref_table: Optional[Mapping[int, Tuple[int, ...]]] = None,
                  catalog: Optional[Mapping[int, int]] = None) -> None:

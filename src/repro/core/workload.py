@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from repro.backends.base import Backend
 from repro.clustering.base import ClusteringPolicy, NoClustering, PlacementContext
 from repro.core.database import OCBDatabase
 from repro.core.metrics import MetricsCollector, PhaseReport
@@ -56,9 +57,17 @@ class WorkloadReport:
 
 
 class WorkloadRunner:
-    """Executes the OCB protocol for a single client."""
+    """Executes the OCB protocol for a single client.
 
-    def __init__(self, database: OCBDatabase, store: ObjectStore,
+    ``store`` is either the classic :class:`ObjectStore` (the simulated
+    engine, driven directly) or any :class:`~repro.backends.base.Backend`
+    — the runner only uses the surface the two share, so the same
+    workload, RNG streams and transaction mix execute unchanged against
+    every engine.
+    """
+
+    def __init__(self, database: OCBDatabase,
+                 store: Union[ObjectStore, Backend],
                  parameters: WorkloadParameters,
                  policy: Optional[ClusteringPolicy] = None,
                  rng: Optional[LewisPayne] = None,
@@ -66,6 +75,12 @@ class WorkloadRunner:
         if store.object_count == 0:
             raise WorkloadError("the store is empty; bulk-load the database "
                                 "before running a workload")
+        if not isinstance(policy or NoClustering(), NoClustering) and \
+                not getattr(store, "supports_clustering", True):
+            raise WorkloadError(
+                f"backend {getattr(store, 'name', type(store).__name__)!r} "
+                f"does not support physical clustering; use the simulated "
+                f"backend for clustering experiments")
         self.database = database
         self.store = store
         self.parameters = parameters

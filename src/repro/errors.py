@@ -14,6 +14,7 @@ __all__ = [
     "StorageError",
     "PageFull",
     "UnknownObject",
+    "BackendError",
     "ClusteringError",
     "WorkloadError",
     "SimulationError",
@@ -43,6 +44,10 @@ class PageFull(StorageError):
 
 class UnknownObject(StorageError, KeyError):
     """An object id is not present in the store directory."""
+
+
+class BackendError(ReproError):
+    """A storage backend is unknown, misconfigured, or misused."""
 
 
 class ClusteringError(ReproError):

@@ -1,5 +1,10 @@
-"""Reporting helpers: ASCII tables, charts, CSV."""
+"""Reporting helpers: ASCII tables, charts, CSV, backend comparisons."""
 
+from repro.reporting.comparison import (
+    BackendRunSummary,
+    render_backend_comparison,
+    summarize_backend_run,
+)
 from repro.reporting.csvout import rows_to_csv, write_csv
 from repro.reporting.figures import (
     Series,
@@ -17,4 +22,7 @@ __all__ = [
     "render_series_table",
     "rows_to_csv",
     "write_csv",
+    "BackendRunSummary",
+    "summarize_backend_run",
+    "render_backend_comparison",
 ]

@@ -33,7 +33,31 @@ from repro.store.disk import DiskStats, SimulatedDisk
 from repro.store.serializer import StoredObject, decode_object, encode_object
 from repro.store.swizzle import SwizzleStats, SwizzleTable
 
-__all__ = ["StoreConfig", "StoreSnapshot", "ReorganizationStats", "ObjectStore"]
+__all__ = ["StoreConfig", "StoreSnapshot", "ReorganizationStats",
+           "ObjectStore", "stage_bulk_load"]
+
+
+def stage_bulk_load(records: Iterable[StoredObject],
+                    order: Optional[Sequence[int]] = None
+                    ) -> List[StoredObject]:
+    """Validate and order records for a bulk load (shared by all engines).
+
+    Rejects duplicate oids; when *order* is given it must be a
+    permutation of the record oids and the returned sequence follows it.
+    """
+    by_oid: Dict[int, StoredObject] = {}
+    sequence: List[StoredObject] = []
+    for record in records:
+        if record.oid in by_oid:
+            raise StorageError(f"duplicate oid {record.oid} in bulk load")
+        by_oid[record.oid] = record
+        sequence.append(record)
+    if order is not None:
+        if set(order) != set(by_oid) or len(order) != len(by_oid):
+            raise StorageError(
+                "bulk_load order must be a permutation of the record oids")
+        sequence = [by_oid[oid] for oid in order]
+    return sequence
 
 
 @dataclass(frozen=True)
@@ -146,18 +170,7 @@ class ObjectStore:
         """
         if self._directory:
             raise StorageError("bulk_load requires an empty store")
-        by_oid: Dict[int, StoredObject] = {}
-        sequence: List[StoredObject] = []
-        for record in records:
-            if record.oid in by_oid:
-                raise StorageError(f"duplicate oid {record.oid} in bulk load")
-            by_oid[record.oid] = record
-            sequence.append(record)
-        if order is not None:
-            if set(order) != set(by_oid) or len(order) != len(by_oid):
-                raise StorageError(
-                    "bulk_load order must be a permutation of the record oids")
-            sequence = [by_oid[oid] for oid in order]
+        sequence = stage_bulk_load(records, order)
 
         segment = bytearray()
         for record in sequence:

@@ -1,0 +1,164 @@
+"""Protocol conformance: every engine honours the Backend contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.errors import StorageError, UnknownObject
+from repro.store.serializer import StoredObject
+
+
+def make_records(count, cid=1, filler=20):
+    return [StoredObject(oid=i + 1, cid=cid,
+                         refs=(None if i == 0 else i, (i % count) + 1),
+                         filler=filler)
+            for i in range(count)]
+
+
+class TestBulkLoad:
+    def test_returns_positive_units(self, backend):
+        assert backend.bulk_load(make_records(10)) > 0
+
+    def test_requires_empty_backend(self, backend):
+        backend.bulk_load(make_records(5))
+        with pytest.raises(StorageError):
+            backend.bulk_load(make_records(5))
+
+    def test_rejects_duplicate_oids(self, backend):
+        records = make_records(4) + [make_records(1)[0]]
+        with pytest.raises(StorageError):
+            backend.bulk_load(records)
+
+    def test_rejects_non_permutation_order(self, backend):
+        with pytest.raises(StorageError):
+            backend.bulk_load(make_records(4), order=[1, 2, 3, 9])
+
+    def test_order_becomes_current_order(self, backend):
+        order = [3, 1, 4, 2, 5]
+        backend.bulk_load(make_records(5), order=order)
+        if backend.name == "sqlite":
+            # An INTEGER PRIMARY KEY table is clustered by oid.
+            assert backend.current_order() == sorted(order)
+        else:
+            assert backend.current_order() == order
+
+
+class TestAccessPaths:
+    def test_read_returns_identical_record(self, loaded_backend,
+                                           small_database):
+        records = small_database.to_records()
+        oid = sorted(records)[0]
+        assert loaded_backend.read_object(oid) == records[oid]
+
+    def test_read_unknown_raises(self, loaded_backend):
+        with pytest.raises(UnknownObject):
+            loaded_backend.read_object(999_999)
+
+    def test_write_persists(self, loaded_backend, small_database):
+        records = small_database.to_records()
+        oid = sorted(records)[0]
+        changed = records[oid].with_back_refs(((42, 0),))
+        loaded_backend.write_object(changed)
+        assert loaded_backend.read_object(oid) == changed
+
+    def test_write_unknown_raises(self, backend):
+        backend.bulk_load(make_records(3))
+        with pytest.raises(UnknownObject):
+            backend.write_object(StoredObject(oid=77, cid=1))
+
+    def test_insert_then_read(self, loaded_backend):
+        record = StoredObject(oid=500_000, cid=1, refs=(1,), filler=8)
+        loaded_backend.insert_object(record)
+        assert loaded_backend.read_object(500_000) == record
+
+    def test_insert_duplicate_raises(self, loaded_backend, small_database):
+        oid = sorted(small_database.to_records())[0]
+        with pytest.raises(StorageError):
+            loaded_backend.insert_object(StoredObject(oid=oid, cid=1))
+
+    def test_delete_removes(self, loaded_backend, small_database):
+        oid = sorted(small_database.to_records())[0]
+        before = loaded_backend.object_count
+        loaded_backend.delete_object(oid)
+        assert loaded_backend.object_count == before - 1
+        assert oid not in loaded_backend
+        with pytest.raises(UnknownObject):
+            loaded_backend.read_object(oid)
+
+    def test_delete_unknown_raises(self, loaded_backend):
+        with pytest.raises(UnknownObject):
+            loaded_backend.delete_object(999_999)
+
+
+class TestTraverseRefs:
+    def test_matches_record_refs(self, loaded_backend, small_database):
+        records = small_database.to_records()
+        for oid in sorted(records)[:20]:
+            assert loaded_backend.traverse_refs(oid) == \
+                records[oid].non_null_refs()
+
+    def test_unknown_raises(self, loaded_backend):
+        with pytest.raises(UnknownObject):
+            loaded_backend.traverse_refs(999_999)
+
+
+class TestAccounting:
+    def test_object_count_and_len(self, backend):
+        backend.bulk_load(make_records(7))
+        assert backend.object_count == 7
+        assert len(backend) == 7
+
+    def test_iter_oids_complete(self, backend):
+        backend.bulk_load(make_records(6))
+        assert sorted(backend.iter_oids()) == [1, 2, 3, 4, 5, 6]
+
+    def test_contains(self, backend):
+        backend.bulk_load(make_records(3))
+        assert 2 in backend
+        assert 99 not in backend
+
+    def test_object_accesses_counted(self, loaded_backend, small_database):
+        oid = sorted(small_database.to_records())[0]
+        loaded_backend.read_object(oid)
+        loaded_backend.read_object(oid)
+        assert loaded_backend.snapshot().object_accesses == 2
+
+    def test_reset_stats(self, loaded_backend, small_database):
+        loaded_backend.read_object(sorted(small_database.to_records())[0])
+        loaded_backend.reset_stats()
+        assert loaded_backend.snapshot().object_accesses == 0
+
+    def test_snapshot_deltas_subtract(self, loaded_backend, small_database):
+        oids = sorted(small_database.to_records())[:5]
+        before = loaded_backend.snapshot()
+        for oid in oids:
+            loaded_backend.read_object(oid)
+        delta = loaded_backend.snapshot() - before
+        assert delta.object_accesses == 5
+
+    def test_stats_is_dict(self, loaded_backend):
+        stats = loaded_backend.stats()
+        assert isinstance(stats, dict)
+        assert stats["objects"] == loaded_backend.object_count
+
+
+class TestSimulatedDelegation:
+    """The simulated adapter must mirror its wrapped store exactly."""
+
+    def test_shares_clock_and_counters(self, small_database):
+        from repro.store.storage import StoreConfig
+        backend = SimulatedBackend(
+            store_config=StoreConfig(page_size=512, buffer_pages=4))
+        records = small_database.to_records()
+        backend.bulk_load(records.values(), order=sorted(records))
+        backend.reset_stats()
+        for oid in sorted(records)[:10]:
+            backend.read_object(oid)
+        assert backend.snapshot() == backend.store.snapshot()
+        assert backend.clock is backend.store.clock
+        assert backend.object_accesses == backend.store.object_accesses
+        assert backend.snapshot().io_reads > 0
+
+    def test_supports_clustering_flag(self):
+        assert SimulatedBackend(store_config=None).supports_clustering

@@ -1,0 +1,110 @@
+"""Cross-backend comparison table rendering."""
+
+from __future__ import annotations
+
+from repro.core.metrics import (
+    KindStats,
+    LatencyPercentiles,
+    MetricsCollector,
+    PhaseReport,
+)
+from repro.core.transactions import TransactionKind
+from repro.core.workload import WorkloadReport
+from repro.reporting import render_backend_comparison, summarize_backend_run
+from repro.reporting.comparison import BackendRunSummary
+
+
+def _report_with(wall_samples):
+    warm = PhaseReport(name="warm")
+    stats = KindStats()
+    for i, wall in enumerate(wall_samples):
+        stats.count += 1
+        stats.visits += 10
+        stats.io_reads += 2
+        stats.wall_time += wall
+        stats.wall_samples.append(wall)
+    warm.per_kind[TransactionKind.SET] = stats
+    cold = PhaseReport(name="cold")
+    return WorkloadReport(cold=cold, warm=warm)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        report = _report_with([0.001, 0.002, 0.003, 0.004])
+        summary = summarize_backend_run("sqlite", report)
+        assert summary.backend == "sqlite"
+        assert summary.transactions == 4
+        assert summary.visits_per_transaction == 10.0
+        assert summary.reads_per_transaction == 2.0
+        assert summary.wall.count == 4
+        assert summary.wall.p50 == 0.0025
+        assert summary.wall_total_seconds == 0.01
+
+    def test_empty_report_is_all_zero(self):
+        summary = summarize_backend_run("memory", _report_with([]))
+        assert summary.transactions == 0
+        assert summary.wall == LatencyPercentiles(0, 0.0, 0.0, 0.0)
+
+
+class TestRender:
+    def test_table_contains_every_backend_and_percentiles(self):
+        summaries = [
+            summarize_backend_run("memory", _report_with([0.001] * 5)),
+            summarize_backend_run("simulated", _report_with([0.010] * 5)),
+            summarize_backend_run("sqlite", _report_with([0.005] * 5)),
+        ]
+        table = render_backend_comparison(summaries)
+        for name in ("memory", "simulated", "sqlite"):
+            assert name in table
+        for header in ("P50 (ms)", "P95 (ms)", "P99 (ms)", "reads/txn"):
+            assert header in table
+
+    def test_custom_title(self):
+        table = render_backend_comparison(
+            [summarize_backend_run("memory", _report_with([0.001]))],
+            title="My comparison")
+        assert table.startswith("My comparison")
+
+    def test_milliseconds_scaling(self):
+        table = render_backend_comparison(
+            [summarize_backend_run("memory", _report_with([0.002] * 3))])
+        assert "2.000" in table  # 0.002 s rendered as 2.000 ms.
+
+
+class TestLatencyPercentiles:
+    def test_from_samples(self):
+        samples = [float(i) for i in range(1, 101)]
+        wall = LatencyPercentiles.from_samples(samples)
+        assert wall.count == 100
+        assert wall.p50 == 50.5
+        assert wall.p95 == 95.05
+        assert wall.p99 == 99.01
+
+    def test_empty_is_zero(self):
+        wall = LatencyPercentiles.from_samples([])
+        assert wall == LatencyPercentiles(0, 0.0, 0.0, 0.0)
+
+    def test_describe_format(self):
+        wall = LatencyPercentiles.from_samples([0.001, 0.002, 0.003])
+        text = wall.describe()
+        assert "P50" in text and "P95" in text and "P99" in text
+        assert "ms" in text
+
+    def test_collector_accumulates_samples(self, rng):
+        from repro.core.transactions import TransactionResult
+        from repro.store.storage import StoreSnapshot
+        from repro.store.buffer import BufferStats
+        from repro.store.disk import DiskStats
+        from repro.store.swizzle import SwizzleStats
+        collector = MetricsCollector("warm")
+        empty = StoreSnapshot(DiskStats(), BufferStats(), SwizzleStats(), 0,
+                              0.0)
+        for wall in (0.01, 0.02, 0.03):
+            result = TransactionResult(
+                kind=TransactionKind.SET, root=1, visits=1,
+                distinct_objects=1, max_depth_reached=0, reverse=False,
+                ref_type=None, truncated=False)
+            collector.record(result, empty, wall)
+        report = collector.report
+        assert report.wall_percentiles().count == 3
+        assert report.wall_percentiles().p50 == 0.02

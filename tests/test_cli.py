@@ -58,6 +58,51 @@ class TestTables:
         assert "Special" in out
 
 
+class TestBackends:
+    def test_backends_lists_engines(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("simulated", "memory", "sqlite"):
+            assert name in out
+
+    def test_run_with_memory_backend(self, capsys):
+        assert main(["run", "--preset", "default-small",
+                     "--backend", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : memory" in out
+        assert "P50" in out and "P95" in out and "P99" in out
+
+    def test_run_with_sqlite_backend(self, capsys):
+        assert main(["run", "--preset", "default-small",
+                     "--backend", "sqlite", "--buffer-pages", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : sqlite" in out
+        assert "wall-clock latency" in out
+
+    def test_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--backend", "mongodb"])
+
+    def test_generate_with_backend_load(self, capsys):
+        assert main(["generate", "--preset", "default-small",
+                     "--backend", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "bulk load" in out
+        assert "storage units" in out
+
+    def test_stale_sqlite_file_errors_cleanly(self, tmp_path, capsys):
+        """A non-empty database file yields a message, not a traceback."""
+        path = str(tmp_path / "ocb.db")
+        assert main(["generate", "--preset", "default-small",
+                     "--backend", "sqlite", "--sqlite-path", path]) == 0
+        capsys.readouterr()
+        assert main(["generate", "--preset", "default-small",
+                     "--backend", "sqlite", "--sqlite-path", path]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("ocb: error:")
+        assert "empty backend" in err
+
+
 class TestGenerateAndRun:
     def test_generate(self, capsys):
         assert main(["generate", "--preset", "default-small"]) == 0
