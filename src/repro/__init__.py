@@ -38,13 +38,16 @@ from repro.core import (
     ClusteringExperiment,
     DatabaseParameters,
     ExperimentResult,
+    GenericOperationsRunner,
     OCBBenchmark,
     OCBDatabase,
+    Session,
     WorkloadParameters,
     WorkloadRunner,
     generate_database,
     preset,
 )
+from repro.multiuser import MultiClientRunner
 from repro.clustering import (
     DROPolicy,
     DSTCParameters,
@@ -79,7 +82,10 @@ __all__ = [
     "OCBDatabase",
     "DatabaseParameters",
     "WorkloadParameters",
+    "Session",
     "WorkloadRunner",
+    "GenericOperationsRunner",
+    "MultiClientRunner",
     "ClusteringExperiment",
     "ExperimentResult",
     "generate_database",

@@ -25,6 +25,7 @@ from typing import Optional
 from repro.backends.base import Backend
 from repro.backends.memory import MemoryBackend
 from repro.backends.registry import (
+    KNOWN_CAPABILITIES,
     BackendInfo,
     available_backends,
     backend_names,
@@ -39,6 +40,7 @@ from repro.store.storage import StoreConfig
 __all__ = [
     "Backend",
     "BackendInfo",
+    "KNOWN_CAPABILITIES",
     "SimulatedBackend",
     "MemoryBackend",
     "SQLiteBackend",
@@ -70,7 +72,8 @@ def _make_sqlite(store_config: StoreConfig, **options: object) -> Backend:
 register_backend(
     "simulated", _make_simulated,
     "Texas-like cost-model store (simulated I/O + wall clock)",
-    wall_clock_only=False, overwrite=True)
+    wall_clock_only=False, capabilities=("clustering", "cold-cache"),
+    overwrite=True)
 register_backend(
     "memory", _make_memory,
     "dict-based upper bound (no serialization, wall clock only)",
@@ -78,7 +81,7 @@ register_backend(
 register_backend(
     "sqlite", _make_sqlite,
     "serialized objects in an indexed SQLite table (wall clock only)",
-    overwrite=True)
+    capabilities=("batched-reads", "cold-cache"), overwrite=True)
 
 
 def resolve_backend(backend: "str | Backend | None",

@@ -8,12 +8,19 @@ contract that makes that concrete: anything that can
 * :meth:`~Backend.read_object` / :meth:`~Backend.write_object` /
   :meth:`~Backend.insert_object` / :meth:`~Backend.delete_object`
   individual records,
-* :meth:`~Backend.traverse_refs` an object's outgoing references, and
+* :meth:`~Backend.read_many` / :meth:`~Backend.write_many` record
+  batches (loop fallbacks here; engines with a native set-oriented
+  access path override them — SQLite answers a whole BFS frontier with
+  one ``IN``-clause query),
+* :meth:`~Backend.traverse_refs` an object's outgoing references,
+* :meth:`~Backend.drop_caches` for honest cold runs, and
 * report :meth:`~Backend.stats`
 
-can run the full cold/warm protocol unchanged.  The workload runner only
-ever talks to this surface, so a new engine (LMDB, Redis, a sharded
-store) is a ~100-line adapter away.
+can run the full cold/warm protocol unchanged.  The execution kernel
+(:class:`~repro.core.session.Session`) only ever talks to this surface,
+so a new engine (LMDB, Redis, a sharded store) is a ~100-line adapter
+away — and every workload (OCB transactions, the generic operation set,
+multi-user interleaving) runs on it immediately.
 
 Two kinds of metrics coexist:
 
@@ -62,6 +69,16 @@ class Backend(abc.ABC):
     #: policies).  Only the simulated store does today.
     supports_clustering: bool = False
 
+    #: Whether :meth:`read_many` is answered by a native set-oriented
+    #: query (one round trip per batch) rather than the loop fallback.
+    #: The execution kernel only issues batched frontier fetches when
+    #: this is set, so cost-model engines keep their per-object
+    #: accounting bit-identical.
+    supports_batched_reads: bool = False
+
+    #: Whether :meth:`write_many` is a single native round trip.
+    supports_batched_writes: bool = False
+
     def __init__(self) -> None:
         self.object_accesses = 0
         self.clock = SimClock()
@@ -97,6 +114,34 @@ class Backend(abc.ABC):
     def delete_object(self, oid: int) -> None:
         """Remove an object."""
 
+    # -- batched access (the kernel's hot path) ------------------------- #
+
+    def read_many(self, oids: Sequence[int]) -> Dict[int, StoredObject]:
+        """Fetch a batch of objects, keyed by oid.
+
+        Duplicate oids are fetched once.  Raises
+        :class:`~repro.errors.UnknownObject` if any oid is not stored.
+        The fallback loops over :meth:`read_object` (in first-occurrence
+        order, so cost accounting matches a hand-written loop); engines
+        with a set-oriented access path override this with one query per
+        batch and set :attr:`supports_batched_reads`.
+        """
+        records: Dict[int, StoredObject] = {}
+        for oid in oids:
+            if oid not in records:
+                records[oid] = self.read_object(oid)
+        return records
+
+    def write_many(self, records: Sequence[StoredObject]) -> None:
+        """Update a batch of existing objects.
+
+        The fallback loops over :meth:`write_object` in order; engines
+        with a native multi-row write override it and set
+        :attr:`supports_batched_writes`.
+        """
+        for record in records:
+            self.write_object(record)
+
     def traverse_refs(self, oid: int) -> Tuple[int, ...]:
         """Non-NIL forward references of *oid* (one graph hop).
 
@@ -108,6 +153,23 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def stats(self) -> Dict[str, object]:
         """Engine-specific statistics (configuration, sizes, counters)."""
+
+    def drop_caches(self) -> bool:
+        """Evict every cache the engine controls (a "cold" restart).
+
+        Returns ``True`` when cached state was actually dropped and
+        ``False`` when the engine has no cache to drop (the memory
+        backend *is* its own cache), so harnesses can report honestly
+        whether a "cold" phase really started cold.
+        """
+        return False
+
+    def flush(self) -> int:
+        """Persist buffered writes; returns the units written (if known).
+
+        The default is a no-op for engines that write through.
+        """
+        return 0
 
     def close(self) -> None:
         """Release any engine resources (connections, files)."""

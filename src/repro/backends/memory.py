@@ -77,6 +77,11 @@ class MemoryBackend(Backend):
         self.object_accesses += 1
         self._bytes -= record.size
 
+    def drop_caches(self) -> bool:
+        """No cache to drop — the dict *is* the store.  Reports ``False``
+        so harnesses know a "cold" run on this engine never starts cold."""
+        return False
+
     def stats(self) -> Dict[str, object]:
         return {"objects": len(self._objects),
                 "encoded_bytes": self._bytes,

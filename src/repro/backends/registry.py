@@ -14,7 +14,7 @@ once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backends.base import Backend
 from repro.errors import BackendError
@@ -23,6 +23,7 @@ from repro.store.storage import StoreConfig
 __all__ = [
     "BackendFactory",
     "BackendInfo",
+    "KNOWN_CAPABILITIES",
     "register_backend",
     "unregister_backend",
     "available_backends",
@@ -33,6 +34,17 @@ __all__ = [
 BackendFactory = Callable[..., Backend]
 
 
+#: Capability tags understood by the CLI listing and the README matrix.
+#: Every registered engine runs the three execution paths (traversals,
+#: generic operations, multi-user) through the unified kernel; the tags
+#: record the optional extras an engine supports natively.
+KNOWN_CAPABILITIES: Tuple[str, ...] = (
+    "clustering",      # physical reorganization (simulated only)
+    "batched-reads",   # native read_many (one round trip per frontier)
+    "cold-cache",      # drop_caches really evicts engine state
+)
+
+
 @dataclass(frozen=True)
 class BackendInfo:
     """One registry entry."""
@@ -41,11 +53,16 @@ class BackendInfo:
     factory: BackendFactory
     description: str
     wall_clock_only: bool = True  # No simulated cost model.
+    capabilities: Tuple[str, ...] = ()
 
     def create(self, store_config: Optional[StoreConfig] = None,
                **options: object) -> Backend:
         """Instantiate the backend for one experiment."""
         return self.factory(store_config or StoreConfig(), **options)
+
+    def has_capability(self, tag: str) -> bool:
+        """Whether the engine declares capability *tag*."""
+        return tag in self.capabilities
 
 
 _REGISTRY: Dict[str, BackendInfo] = {}
@@ -53,20 +70,29 @@ _REGISTRY: Dict[str, BackendInfo] = {}
 
 def register_backend(name: str, factory: BackendFactory, description: str,
                      wall_clock_only: bool = True,
+                     capabilities: "Tuple[str, ...] | List[str]" = (),
                      overwrite: bool = False) -> BackendInfo:
     """Register *factory* under *name*; raise on duplicates.
 
     ``factory(store_config, **options)`` must return a fresh
-    :class:`Backend`.  Pass ``overwrite=True`` to replace an entry
-    (useful in tests and notebooks).
+    :class:`Backend`.  ``capabilities`` tags the engine's optional
+    extras (see :data:`KNOWN_CAPABILITIES`); unknown tags are rejected
+    so the capability matrix stays meaningful.  Pass ``overwrite=True``
+    to replace an entry (useful in tests and notebooks).
     """
     key = name.strip().lower()
     if not key:
         raise BackendError("backend name must be non-empty")
     if key in _REGISTRY and not overwrite:
         raise BackendError(f"backend {key!r} is already registered")
+    tags = tuple(capabilities)
+    unknown = [tag for tag in tags if tag not in KNOWN_CAPABILITIES]
+    if unknown:
+        raise BackendError(
+            f"unknown capability tags {unknown}; "
+            f"known: {list(KNOWN_CAPABILITIES)}")
     info = BackendInfo(name=key, factory=factory, description=description,
-                       wall_clock_only=wall_clock_only)
+                       wall_clock_only=wall_clock_only, capabilities=tags)
     _REGISTRY[key] = info
     return info
 

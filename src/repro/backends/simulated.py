@@ -72,9 +72,14 @@ class SimulatedBackend(Backend):
     def reset_stats(self) -> None:
         self.store.reset_stats()
 
-    def drop_caches(self) -> None:
+    def drop_caches(self) -> bool:
         """Cold restart: empty the buffer pool and decoded-object cache."""
         self.store.drop_caches()
+        return True
+
+    def flush(self) -> int:
+        """Write back dirty pages; returns the pages written."""
+        return self.store.flush()
 
     # -- lifecycle ------------------------------------------------------ #
 

@@ -18,6 +18,18 @@ ablations (``--buffer-pages``) carry over unchanged: a run with a
 
 All measurements are wall-clock — SQLite does its own paging, caching
 and journaling, which is exactly what the benchmark wants to observe.
+
+Two kernel hooks make the engine first-class under the unified
+:class:`~repro.core.session.Session`:
+
+* **batched access** — :meth:`SQLiteBackend.read_many` answers a whole
+  BFS frontier (or range-lookup match set) with one ``IN``-clause query
+  and :meth:`SQLiteBackend.write_many` is a single ``executemany``;
+  ``sql_round_trips`` in :meth:`SQLiteBackend.stats` counts issued
+  statements so the saving is measurable;
+* **cold-cache control** — :meth:`SQLiteBackend.drop_caches` closes and
+  reopens the connection (re-applying the pragmas) for file databases,
+  and releases the pager cache in place for ``:memory:`` ones.
 """
 
 from __future__ import annotations
@@ -36,11 +48,16 @@ __all__ = ["SQLiteBackend"]
 #: Page sizes SQLite accepts (powers of two, 512..65536).
 _VALID_PAGE_SIZES = tuple(512 << i for i in range(8))
 
+#: IN-clause batch ceiling, below SQLite's default 999-variable limit.
+_MAX_BATCH_VARIABLES = 500
+
 
 class SQLiteBackend(Backend):
     """Serialized objects in an indexed SQLite table."""
 
     name = "sqlite"
+    supports_batched_reads = True
+    supports_batched_writes = True
 
     def __init__(self, path: str = ":memory:",
                  page_size: int = DEFAULT_PAGE_SIZE,
@@ -57,17 +74,23 @@ class SQLiteBackend(Backend):
         self.path = path
         self.page_size = page_size
         self.cache_pages = cache_pages
+        self.synchronous = synchronous
+        self.journal_mode = journal_mode
+        self.sql_round_trips = 0
+        self._conn = self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
         try:
-            self._conn = sqlite3.connect(path)
+            conn = sqlite3.connect(self.path)
         except sqlite3.Error as exc:
             raise BackendError(
-                f"cannot open SQLite database {path!r}: {exc}") from exc
-        cur = self._conn.cursor()
+                f"cannot open SQLite database {self.path!r}: {exc}") from exc
+        cur = conn.cursor()
         # page_size must be set before the first table is created.
-        cur.execute(f"PRAGMA page_size = {page_size}")
-        cur.execute(f"PRAGMA cache_size = {cache_pages}")
-        cur.execute(f"PRAGMA synchronous = {synchronous}")
-        cur.execute(f"PRAGMA journal_mode = {journal_mode}")
+        cur.execute(f"PRAGMA page_size = {self.page_size}")
+        cur.execute(f"PRAGMA cache_size = {self.cache_pages}")
+        cur.execute(f"PRAGMA synchronous = {self.synchronous}")
+        cur.execute(f"PRAGMA journal_mode = {self.journal_mode}")
         cur.execute(
             "CREATE TABLE IF NOT EXISTS objects ("
             " oid  INTEGER PRIMARY KEY,"
@@ -75,7 +98,8 @@ class SQLiteBackend(Backend):
             " data BLOB    NOT NULL)")
         cur.execute(
             "CREATE INDEX IF NOT EXISTS objects_by_class ON objects (cid)")
-        self._conn.commit()
+        conn.commit()
+        return conn
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -91,6 +115,7 @@ class SQLiteBackend(Backend):
         return self._pragma_int("page_count")
 
     def read_object(self, oid: int) -> StoredObject:
+        self.sql_round_trips += 1
         row = self._conn.execute(
             "SELECT data FROM objects WHERE oid = ?", (oid,)).fetchone()
         if row is None:
@@ -98,7 +123,27 @@ class SQLiteBackend(Backend):
         self.object_accesses += 1
         return decode_object(row[0])
 
+    def read_many(self, oids: Sequence[int]) -> Dict[int, StoredObject]:
+        """One ``IN``-clause query per batch (chunked below the SQLite
+        variable limit) — the whole BFS frontier in one round trip."""
+        unique: List[int] = list(dict.fromkeys(oids))
+        records: Dict[int, StoredObject] = {}
+        for start in range(0, len(unique), _MAX_BATCH_VARIABLES):
+            chunk = unique[start:start + _MAX_BATCH_VARIABLES]
+            placeholders = ",".join("?" * len(chunk))
+            self.sql_round_trips += 1
+            for oid, data in self._conn.execute(
+                    f"SELECT oid, data FROM objects "
+                    f"WHERE oid IN ({placeholders})", chunk):
+                records[oid] = decode_object(data)
+        if len(records) != len(unique):
+            missing = next(oid for oid in unique if oid not in records)
+            raise UnknownObject(missing)
+        self.object_accesses += len(unique)
+        return records
+
     def write_object(self, record: StoredObject) -> None:
+        self.sql_round_trips += 1
         cur = self._conn.execute(
             "UPDATE objects SET cid = ?, data = ? WHERE oid = ?",
             (record.cid, encode_object(record), record.oid))
@@ -106,7 +151,22 @@ class SQLiteBackend(Backend):
             raise UnknownObject(record.oid)
         self.object_accesses += 1
 
+    def write_many(self, records: Sequence[StoredObject]) -> None:
+        """A single ``executemany`` round trip for the whole batch."""
+        if not records:
+            return
+        self.sql_round_trips += 1
+        cur = self._conn.executemany(
+            "UPDATE objects SET cid = ?, data = ? WHERE oid = ?",
+            ((r.cid, encode_object(r), r.oid) for r in records))
+        if cur.rowcount != len(records):
+            for record in records:
+                if record.oid not in self:
+                    raise UnknownObject(record.oid)
+        self.object_accesses += len(records)
+
     def insert_object(self, record: StoredObject) -> None:
+        self.sql_round_trips += 1
         try:
             self._conn.execute(
                 "INSERT INTO objects (oid, cid, data) VALUES (?, ?, ?)",
@@ -116,10 +176,33 @@ class SQLiteBackend(Backend):
         self.object_accesses += 1
 
     def delete_object(self, oid: int) -> None:
+        self.sql_round_trips += 1
         cur = self._conn.execute("DELETE FROM objects WHERE oid = ?", (oid,))
         if cur.rowcount == 0:
             raise UnknownObject(oid)
         self.object_accesses += 1
+
+    def drop_caches(self) -> bool:
+        """Cold restart: drop the pager cache (and any OS-visible state).
+
+        File databases get the honest treatment — commit, close, reopen,
+        re-apply the pragmas.  ``:memory:`` databases would lose their
+        data on close, so the pager cache is released in place
+        (``PRAGMA shrink_memory``) and the cache budget re-asserted.
+        """
+        self._conn.commit()
+        if self.path == ":memory:":
+            self._conn.execute("PRAGMA shrink_memory")
+            self._conn.execute(f"PRAGMA cache_size = {self.cache_pages}")
+            return True
+        self._conn.close()
+        self._conn = self._connect()
+        return True
+
+    def flush(self) -> int:
+        """Commit the open transaction (write-back point for mutations)."""
+        self._conn.commit()
+        return 0
 
     def stats(self) -> Dict[str, object]:
         return {
@@ -130,8 +213,13 @@ class SQLiteBackend(Backend):
             "freelist_pages": self._pragma_int("freelist_count"),
             "objects": self.object_count,
             "object_accesses": self.object_accesses,
+            "sql_round_trips": self.sql_round_trips,
             "sqlite_version": sqlite3.sqlite_version,
         }
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.sql_round_trips = 0
 
     def close(self) -> None:
         self._conn.commit()

@@ -7,16 +7,21 @@ Subcommands::
     ocb backends                  list registered storage backends
     ocb generate  [--preset P]    generate a database, print statistics
     ocb run       [--preset P]    generate + run the cold/warm protocol
+    ocb ops       [--preset P]    run the generic operation mix
+    ocb multiuser [--preset P]    interleave CLIENTN clients
     ocb tables --id {1,2,3}       print the paper's parameter tables
     ocb fig4                      reproduce Figure 4 (creation time)
     ocb table4                    reproduce Table 4 (DSTC-CluB vs OCB)
     ocb table5                    reproduce Table 5 (OCB defaults)
 
-``generate`` and ``run`` accept ``--backend NAME`` (see ``ocb
+Every execution command (``run``, ``ops``, ``multiuser``) goes through
+the unified kernel and accepts ``--backend NAME`` (see ``ocb
 backends``) to target any registered storage engine; runs against real
 engines report wall-clock latency percentiles next to the simulated
-costs.  All experiment commands accept ``--scale``-style size flags so
-the full paper-scale runs (slow in pure Python) remain one flag away.
+costs, and ``run --cold-start`` drops the engine's caches first so the
+cold phase is honest on engines that can evict state.  All experiment
+commands accept ``--scale``-style size flags so the full paper-scale
+runs (slow in pure Python) remain one flag away.
 """
 
 from __future__ import annotations
@@ -93,6 +98,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sqlite-path", default=":memory:",
                      help="database file for --backend sqlite "
                           "(default: in-memory)")
+    run.add_argument("--cold-start", action="store_true",
+                     help="drop the engine's caches before the cold run "
+                          "(honest cold measurements on engines that "
+                          "support cache eviction)")
+
+    ops = sub.add_parser("ops", help="run the generic operation mix "
+                                     "(insert/update/delete/range/scan)")
+    ops.add_argument("--preset", default="default-small",
+                     choices=sorted(PRESETS))
+    ops.add_argument("--operations", type=int, default=50,
+                     help="number of operations to draw from the mix")
+    ops.add_argument("--backend", default="simulated",
+                     choices=backend_names(),
+                     help="storage engine to drive (default: simulated)")
+    ops.add_argument("--sqlite-path", default=":memory:",
+                     help="database file for --backend sqlite "
+                          "(default: in-memory)")
+
+    multiuser = sub.add_parser(
+        "multiuser", help="interleave CLIENTN clients round-robin against "
+                          "one shared engine")
+    multiuser.add_argument("--preset", default="default-small",
+                           choices=sorted(PRESETS))
+    multiuser.add_argument("--clients", type=int, default=4)
+    multiuser.add_argument("--backend", default="simulated",
+                           choices=backend_names(),
+                           help="storage engine to drive "
+                                "(default: simulated)")
+    multiuser.add_argument("--sqlite-path", default=":memory:",
+                           help="database file for --backend sqlite "
+                                "(default: in-memory)")
 
     tables = sub.add_parser("tables", help="print the paper's parameter tables")
     tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
@@ -145,10 +181,11 @@ def _cmd_presets() -> str:
 def _cmd_backends() -> str:
     rows = [[info.name,
              "simulated + wall" if not info.wall_clock_only else "wall only",
+             ", ".join(info.capabilities) or "-",
              info.description]
             for info in available_backends()]
-    return render_table(["backend", "metrics", "description"], rows,
-                        title="Registered storage backends")
+    return render_table(["backend", "metrics", "extras", "description"],
+                        rows, title="Registered storage backends")
 
 
 def _cmd_generate(args: argparse.Namespace) -> str:
@@ -205,7 +242,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
                          initial_placement=args.placement,
                          backend=args.backend,
                          backend_options=_backend_options(args))
-    result = bench.run()
+    result = bench.run(cold_start=args.cold_start)
     warm = result.report.warm
     wall = warm.wall_percentiles()
     lines = [result.describe(), "",
@@ -219,6 +256,72 @@ def _cmd_run(args: argparse.Namespace) -> str:
              f"wall-clock latency (warm, {wall.count} txns): "
              f"{wall.describe()}"]
     return "\n".join(lines)
+
+
+def _cmd_ops(args: argparse.Namespace) -> str:
+    from collections import defaultdict
+
+    db_params, wl_params = preset(args.preset)
+    bench = OCBBenchmark(db_params, wl_params,
+                         backend=args.backend,
+                         backend_options=_backend_options(args))
+    results = bench.run_generic_operations(args.operations)
+    grouped = defaultdict(list)
+    for result in results:
+        grouped[result.operation].append(result)
+    rows = []
+    for operation, bucket in sorted(grouped.items(),
+                                    key=lambda item: item[0].value):
+        n = len(bucket)
+        rows.append([operation.value, n,
+                     sum(r.objects_touched for r in bucket) / n,
+                     sum(r.io_reads for r in bucket) / n,
+                     sum(r.io_writes for r in bucket) / n,
+                     sum(r.wall_time for r in bucket) / n * 1e3])
+    table = render_table(
+        ["operation", "n", "objects/op", "reads/op", "writes/op",
+         "wall/op (ms)"],
+        rows, title=f"Generic operation mix on {args.backend!r} "
+                    f"({args.operations} operations)", precision=3)
+    stats = bench.backend.stats() if bench.backend is not None else {}
+    lines = [table]
+    if "sql_round_trips" in stats:
+        lines.append(f"\nSQL round trips: {stats['sql_round_trips']}")
+    bench.backend.close()
+    return "\n".join(lines)
+
+
+def _cmd_multiuser(args: argparse.Namespace) -> str:
+    from dataclasses import replace
+
+    from repro.multiuser.runner import MultiClientRunner
+
+    db_params, wl_params = preset(args.preset)
+    wl_params = replace(wl_params, clients=args.clients)
+    database, _report = generate_database(db_params)
+    runner = MultiClientRunner(database, args.backend, wl_params,
+                               backend_options=_backend_options(args))
+    report = runner.run()
+    rows = []
+    for client, client_report in enumerate(report.clients):
+        totals = client_report.warm.totals
+        wall = report.client_wall_percentiles(client)
+        rows.append([client, totals.count, totals.visits_per_transaction,
+                     totals.reads_per_transaction, wall.p95 * 1e3])
+    merged = report.merged_warm.totals
+    merged_wall = report.warm_wall_percentiles
+    rows.append(["all", merged.count, merged.visits_per_transaction,
+                 merged.reads_per_transaction, merged_wall.p95 * 1e3])
+    table = render_table(
+        ["client", "warm txns", "objects/txn", "reads/txn", "P95 (ms)"],
+        rows, title=f"{args.clients} clients on {report.backend_name!r} "
+                    f"(round-robin, shared engine)", precision=3)
+    close = getattr(runner.store, "close", None)
+    if close is not None:
+        close()
+    return "\n".join([
+        table, "",
+        f"merged warm wall-clock: {merged_wall.describe()}"])
 
 
 def _cmd_tables(args: argparse.Namespace) -> str:
@@ -311,6 +414,10 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         print(_cmd_generate(args))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "ops":
+        print(_cmd_ops(args))
+    elif args.command == "multiuser":
+        print(_cmd_multiuser(args))
     elif args.command == "tables":
         print(_cmd_tables(args))
     elif args.command == "fig4":

@@ -33,6 +33,7 @@ from repro.core.presets import (
     preset,
 )
 from repro.core.schema import ClassDescriptor, Schema
+from repro.core.session import Measurement, Session
 from repro.core.transactions import (
     AccessContext,
     TransactionKind,
@@ -66,6 +67,8 @@ __all__ = [
     "ClassDescriptor",
     "Schema",
     "AccessContext",
+    "Session",
+    "Measurement",
     "TransactionKind",
     "TransactionResult",
     "TransactionSpec",

@@ -109,14 +109,22 @@ class OCBBenchmark:
         self.backend.reset_stats()
         return self.database
 
-    def run(self) -> BenchmarkResult:
-        """Execute the cold/warm protocol (after :meth:`setup`)."""
+    def run(self, cold_start: bool = False) -> BenchmarkResult:
+        """Execute the cold/warm protocol (after :meth:`setup`).
+
+        ``cold_start=True`` drops the engine's caches first (through the
+        backend protocol's ``drop_caches``), so the cold run really
+        starts cold on every engine that can evict state — the memory
+        backend reports that it cannot, and the run proceeds warm.
+        """
         if self.database is None or self.backend is None:
             self.setup()
         assert self.database is not None and self.backend is not None
         assert self.generation is not None
         runner = WorkloadRunner(self.database, self.backend,
                                 self.workload_parameters, policy=self.policy)
+        if cold_start:
+            runner.session.drop_caches()
         report = runner.run()
         pages = self.store.page_count if self.store is not None \
             else int(self.backend.stats().get("pages", 0) or 0)
@@ -127,6 +135,22 @@ class OCBBenchmark:
             store_pages=pages,
             backend_name=getattr(self.backend, "name",
                                  type(self.backend).__name__))
+
+    def run_generic_operations(self, operations: int,
+                               weights: Optional[dict] = None) -> list:
+        """Run the extended operation mix on this benchmark's backend.
+
+        Returns the list of
+        :class:`~repro.core.generic_ops.OperationResult` — the facade
+        behind ``ocb ops --backend NAME``.
+        """
+        from repro.core.generic_ops import GenericOperationsRunner
+        if self.database is None or self.backend is None:
+            self.setup()
+        assert self.database is not None and self.backend is not None
+        runner = GenericOperationsRunner(self.database, self.backend,
+                                         policy=self.policy)
+        return runner.run_mix(operations, weights=weights)
 
     def run_clustering_experiment(self, label: str = "OCB",
                                   io_mode: str = "touched"

@@ -19,21 +19,35 @@ catalogues and OCB's clustering-oriented workload dropped:
   store,
 * **sequential scan** (HyperModel) — visit every object.
 
+The runner executes through the unified execution kernel
+(:class:`~repro.core.session.Session`), so the same operation stream
+runs against the simulated store **or any registered backend** —
+``GenericOperationsRunner(database, "sqlite")`` creates, bulk-loads and
+drives a SQLite engine.  Range lookups and sequential scans announce
+their match sets through the kernel's batched read path (one
+``IN``-clause round trip per set on SQLite); mutations collect their
+dirty records and write them back as a batch on engines with native
+batched writes.
+
 The runner keeps the in-memory :class:`~repro.core.database.OCBDatabase`
-and the persistent :class:`~repro.store.storage.ObjectStore` in lockstep,
-so structural invariants (``database.validate()``) hold after any sequence
-of operations — the property-based tests exercise exactly that.
+and the persistent store in lockstep, so structural invariants
+(``database.validate()``) hold after any sequence of operations — the
+property-based tests exercise exactly that.  All *logical* metrics
+(operation kinds drawn, objects touched) derive from the in-memory
+database and the seeded RNG alone, so they are identical on every
+backend.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
 
-from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.backends.base import Backend
+from repro.clustering.base import ClusteringPolicy
 from repro.core.database import OCBDatabase, OCBObject
+from repro.core.session import Session
 from repro.errors import WorkloadError
 from repro.rand.lewis_payne import LewisPayne
 from repro.store.serializer import StoredObject
@@ -42,6 +56,9 @@ from repro.store.storage import ObjectStore
 __all__ = ["GenericOperation", "OperationResult", "GenericOperationsRunner"]
 
 _STREAM_GENERIC = 0x0CB0_00FF
+
+#: Chunk size for sequential-scan prefetches (bounds cache growth).
+_SCAN_BATCH = 256
 
 #: Attribute used by range lookups: a pseudo-random but deterministic
 #: percentile derived from the object id (Knuth's multiplicative hash).
@@ -73,17 +90,38 @@ class OperationResult:
 
 
 class GenericOperationsRunner:
-    """Executes the extended operation set against a loaded store."""
+    """Executes the extended operation set against a loaded engine.
 
-    def __init__(self, database: OCBDatabase, store: ObjectStore,
+    ``store`` accepts everything the other runners do: a loaded
+    :class:`~repro.store.storage.ObjectStore`, any
+    :class:`~repro.backends.base.Backend`, a registered backend name
+    (created and bulk-loaded on the spot), or a ready
+    :class:`~repro.core.session.Session`.
+    """
+
+    def __init__(self, database: OCBDatabase,
+                 store: Union[ObjectStore, Backend, Session, str],
                  policy: Optional[ClusteringPolicy] = None,
-                 rng: Optional[LewisPayne] = None) -> None:
-        if store.object_count == 0:
+                 rng: Optional[LewisPayne] = None,
+                 batch: Optional[bool] = None) -> None:
+        self.database = database
+        if isinstance(store, Session):
+            if policy is not None and policy is not store.policy:
+                raise WorkloadError(
+                    "conflicting clustering policies: the Session already "
+                    "owns one; pass the policy when constructing the "
+                    "Session, not the runner")
+            self.session = store
+        elif store is None or isinstance(store, str):
+            self.session = Session.for_database(database, store,
+                                                policy=policy, batch=batch)
+        else:
+            self.session = Session(store, policy=policy, batch=batch)
+        if self.session.object_count == 0:
             raise WorkloadError("bulk-load the database before running "
                                 "generic operations")
-        self.database = database
-        self.store = store
-        self.policy = policy or NoClustering()
+        self.store = self.session.store
+        self.policy = self.session.policy
         self._rng = rng or LewisPayne(
             database.parameters.seed).spawn(_STREAM_GENERIC)
 
@@ -102,7 +140,7 @@ class GenericOperationsRunner:
             obj = OCBObject(oid=oid, cid=cid,
                             oref=[None] * descriptor.max_nref)
             self.database.add_object(obj)
-            touched = 1
+            dirty: Dict[int, None] = {}
             low, high = params.object_ref_bounds(
                 min(oid, params.num_objects or oid))
             for index, _type_id, target_class in descriptor.references():
@@ -117,10 +155,11 @@ class GenericOperationsRunner:
                     continue
                 obj.oref[index] = target
                 self.database.get(target).back_refs.append((oid, index))
-                touched += self._sync_record(target)
-            self.store.insert_object(self._record_for(oid))
-            self.store.flush()
-            return touched
+                dirty[target] = None
+            self._write_dirty(dirty)
+            self.session.insert_record(self._record_for(oid))
+            self.session.flush()
+            return 1 + len(dirty)
         return self._timed(GenericOperation.INSERT, body)
 
     def update(self, oid: Optional[int] = None) -> OperationResult:
@@ -128,13 +167,12 @@ class GenericOperationsRunner:
         def body() -> int:
             target_oid = oid if oid is not None else self._pick_oid()
             obj = self.database.get(target_oid)
-            touched = 1
             slots = [i for i, t in enumerate(obj.oref) if t is not None]
             if not slots:
                 # Nothing to rewire; still a (logical) attribute update.
-                self._sync_record(target_oid)
-                self.store.flush()
-                return touched
+                self._write_dirty({target_oid: None})
+                self.session.flush()
+                return 1
             slot = slots[self._rng.randint(0, len(slots) - 1)]
             old_target = obj.oref[slot]
             descriptor = self.database.schema.get(obj.cid)
@@ -145,18 +183,17 @@ class GenericOperationsRunner:
             drawn = params.dist4.draw(self._rng, low, high, center=target_oid)
             new_target = iterator[(drawn - 1) % len(iterator)]
             if new_target == old_target:
-                self._sync_record(target_oid)
-                self.store.flush()
-                return touched
+                self._write_dirty({target_oid: None})
+                self.session.flush()
+                return 1
             obj.oref[slot] = new_target
             old_obj = self.database.get(old_target)
             old_obj.back_refs.remove((target_oid, slot))
             self.database.get(new_target).back_refs.append((target_oid, slot))
-            touched += self._sync_record(target_oid)
-            touched += self._sync_record(old_target)
-            touched += self._sync_record(new_target)
-            self.store.flush()
-            return touched
+            dirty = dict.fromkeys((target_oid, old_target, new_target))
+            self._write_dirty(dirty)
+            self.session.flush()
+            return len(dirty)
         return self._timed(GenericOperation.UPDATE, body)
 
     def delete(self, oid: Optional[int] = None) -> OperationResult:
@@ -164,14 +201,14 @@ class GenericOperationsRunner:
         def body() -> int:
             victim_oid = oid if oid is not None else self._pick_oid()
             victim = self.database.get(victim_oid)
-            touched = 1
+            dirty = {}
             # Outbound: remove our entries from targets' back references.
             for index, target in enumerate(victim.oref):
                 if target is None or target == victim_oid:
                     continue
                 target_obj = self.database.get(target)
                 target_obj.back_refs.remove((victim_oid, index))
-                touched += self._sync_record(target)
+                dirty[target] = None
             # Inbound: NULL every reference that points at the victim.
             for source, index in list(victim.back_refs):
                 if source == victim_oid:
@@ -179,11 +216,12 @@ class GenericOperationsRunner:
                 source_obj = self.database.get(source)
                 if source_obj.oref[index] == victim_oid:
                     source_obj.oref[index] = None
-                    touched += self._sync_record(source)
+                    dirty[source] = None
             self.database.remove_object(victim_oid)
-            self.store.delete_object(victim_oid)
-            self.store.flush()
-            return touched
+            self._write_dirty(dirty)
+            self.session.delete_record(victim_oid)
+            self.session.flush()
+            return 1 + len(dirty)
         return self._timed(GenericOperation.DELETE, body)
 
     def range_lookup(self, low: Optional[int] = None,
@@ -197,17 +235,22 @@ class GenericOperationsRunner:
                 else self._rng.randint(0, 100 - width)
             matches = [oid for oid in self.database.objects
                        if start <= attribute_of(oid) < start + width]
-            for oid in matches:
-                self._access(oid)
+            # The whole match set in one round trip on batched engines.
+            self.session.prefetch(matches)
+            for match in matches:
+                self.session.touch(match)
             return len(matches)
         return self._timed(GenericOperation.RANGE_LOOKUP, body)
 
     def sequential_scan(self) -> OperationResult:
         """Visit every object in physical order."""
         def body() -> int:
-            order = self.store.current_order()
-            for oid in order:
-                self._access(oid)
+            order = self.session.current_order()
+            for start in range(0, len(order), _SCAN_BATCH):
+                chunk = order[start:start + _SCAN_BATCH]
+                self.session.prefetch(chunk)
+                for scanned in chunk:
+                    self.session.touch(scanned)
             return len(order)
         return self._timed(GenericOperation.SEQUENTIAL_SCAN, body)
 
@@ -255,27 +298,20 @@ class GenericOperationsRunner:
     # ------------------------------------------------------------------ #
 
     def _timed(self, operation: GenericOperation, body) -> OperationResult:
-        before = self.store.snapshot()
-        start = time.perf_counter()
-        touched = body()
-        wall = time.perf_counter() - start
-        delta = self.store.snapshot() - before
-        self.policy.on_transaction_end()
+        with self.session.measure() as span:
+            touched = body()
+        self.session.end_transaction()
+        assert span.delta is not None
         return OperationResult(operation=operation,
                                objects_touched=touched,
-                               io_reads=delta.io_reads,
-                               io_writes=delta.io_writes,
-                               sim_time=delta.sim_time,
-                               wall_time=wall)
+                               io_reads=span.delta.io_reads,
+                               io_writes=span.delta.io_writes,
+                               sim_time=span.delta.sim_time,
+                               wall_time=span.wall)
 
     def _pick_oid(self) -> int:
         oids = sorted(self.database.objects)
         return oids[self._rng.randint(0, len(oids) - 1)]
-
-    def _access(self, oid: int, source: Optional[int] = None) -> StoredObject:
-        record = self.store.read_object(oid)
-        self.policy.observe_access(source, oid, None)
-        return record
 
     def _record_for(self, oid: int) -> StoredObject:
         obj = self.database.get(oid)
@@ -285,7 +321,13 @@ class GenericOperationsRunner:
                             back_refs=tuple(obj.back_refs),
                             filler=instance_size)
 
-    def _sync_record(self, oid: int) -> int:
-        """Write the current in-memory state of *oid* back to the store."""
-        self.store.write_object(self._record_for(oid))
-        return 1
+    def _write_dirty(self, dirty: Dict[int, None]) -> None:
+        """Write the final in-memory state of every dirty object back.
+
+        Records are materialised *after* all of the operation's graph
+        surgery, so an object rewired twice within one operation is
+        written once, with its final state — a single batched round trip
+        on engines that support it.
+        """
+        self.session.write_records([self._record_for(oid) for oid in dirty])
+

@@ -1,0 +1,345 @@
+"""The unified execution kernel: one Session, every workload, any engine.
+
+:class:`Session` is the single surface through which *all three* OCB
+execution paths — the cold/warm transaction protocol
+(:mod:`repro.core.transactions` / :mod:`repro.core.workload`), the
+extended generic operation set (:mod:`repro.core.generic_ops`) and
+multi-user interleaving (:mod:`repro.multiuser.runner`) — touch storage.
+It grew out of the old ``AccessContext`` and owns everything the paths
+used to wire up separately:
+
+* **object access** — :meth:`access` charges the engine and notifies the
+  clustering policy of the link crossing (DSTC's observation input);
+* **batched access** — :meth:`prefetch` pulls a whole BFS frontier or
+  match set through :meth:`~repro.backends.base.Backend.read_many` into
+  a decoded-record cache that :meth:`access` consults, turning N point
+  queries into one round trip on engines that support it (SQLite).
+  Batching only activates when the engine declares
+  ``supports_batched_reads``, so cost-model engines keep bit-identical
+  per-object accounting;
+* **metrics charging** — :meth:`measure` snapshots the engine around a
+  transaction and yields the ``(delta, wall seconds)`` pair every
+  collector consumes; :meth:`charge_think_time` advances the simulated
+  clock by THINK;
+* **lifecycle** — :meth:`drop_caches` (honest cold runs),
+  :meth:`flush`, :meth:`reset_stats`, :meth:`close`.
+
+A Session wraps either the classic :class:`~repro.store.storage.ObjectStore`
+(driven directly, exactly as before the backends subsystem existed) or
+any :class:`~repro.backends.base.Backend`; :meth:`Session.for_database`
+additionally accepts a *registered backend name* and bulk-loads the
+generated database into a fresh engine, which is how every runner lets
+callers say ``backend="sqlite"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.backends.base import Backend
+from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.core.database import OCBDatabase
+from repro.errors import WorkloadError
+from repro.store.serializer import StoredObject
+from repro.store.storage import ObjectStore, StoreConfig, StoreSnapshot
+
+__all__ = ["Measurement", "Session"]
+
+#: Anything a Session can drive.
+StoreLike = Union[ObjectStore, Backend]
+
+
+class Measurement:
+    """One measured span: engine-counter delta plus wall-clock seconds.
+
+    Used as a context manager by every runner::
+
+        with session.measure() as m:
+            ...execute the transaction...
+        collector.record(result, m.delta, m.wall)
+    """
+
+    __slots__ = ("_store", "_before", "_start", "delta", "wall")
+
+    def __init__(self, store: StoreLike) -> None:
+        self._store = store
+        self.delta: Optional[StoreSnapshot] = None
+        self.wall: float = 0.0
+
+    def __enter__(self) -> "Measurement":
+        self._before = self._store.snapshot()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall = time.perf_counter() - self._start
+        self.delta = self._store.snapshot() - self._before
+
+
+class Session:
+    """Store + policy + catalog wiring shared by every execution path.
+
+    ``store`` may be the classic :class:`ObjectStore` or any
+    :class:`~repro.backends.base.Backend`; only the surface the two
+    share is used.  ``batch`` controls frontier batching: ``None``
+    (default) auto-detects ``supports_batched_reads`` on the engine,
+    ``True``/``False`` force it on or off (forcing it on against an
+    engine without native batching falls back to a read loop).
+    """
+
+    def __init__(self, store: StoreLike,
+                 policy: Optional[ClusteringPolicy] = None,
+                 tref_table: Optional[Mapping[int, Tuple[int, ...]]] = None,
+                 catalog: Optional[Mapping[int, int]] = None,
+                 batch: Optional[bool] = None) -> None:
+        self.store = store
+        self.policy = policy or NoClustering()
+        self._tref_table = dict(tref_table or {})
+        self._catalog = dict(catalog or {})
+        if batch is None:
+            batch = bool(getattr(store, "supports_batched_reads", False))
+        self.batch_reads = batch and hasattr(store, "read_many")
+        self.batch_writes = self.batch_reads and \
+            bool(getattr(store, "supports_batched_writes", False))
+        self._prefetched: Dict[int, StoredObject] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction from a registered backend
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_database(cls, database: OCBDatabase,
+                     store: "StoreLike | str | None" = None,
+                     store_config: Optional[StoreConfig] = None,
+                     policy: Optional[ClusteringPolicy] = None,
+                     batch: Optional[bool] = None,
+                     backend_options: Optional[dict] = None) -> "Session":
+        """Build a Session over *store* for a generated *database*.
+
+        *store* may be a loaded :class:`ObjectStore`/:class:`Backend`
+        instance, a registered backend **name** (resolved through the
+        registry; ``None`` means ``"simulated"``), or a fresh empty
+        engine.  Named and empty engines are bulk-loaded with the
+        database in oid order and their counters reset, so
+        ``Session.for_database(db, "sqlite")`` is everything a caller
+        needs to run any workload on SQLite.
+        """
+        from repro.backends import resolve_backend  # Late: avoids a cycle.
+        if store is None or isinstance(store, str):
+            store = resolve_backend(store, store_config,
+                                    **(backend_options or {}))
+        if store.object_count == 0:
+            records = database.to_records()
+            store.bulk_load(records.values(), order=sorted(records))
+            store.reset_stats()
+        return cls(store, policy=policy,
+                   tref_table=database.tref_table(),
+                   catalog=database.catalog(), batch=batch)
+
+    # ------------------------------------------------------------------ #
+    # Catalog lookups (no I/O)
+    # ------------------------------------------------------------------ #
+
+    def class_of(self, oid: int) -> Optional[int]:
+        """Class of *oid* from the catalog (no I/O), if known."""
+        return self._catalog.get(oid)
+
+    def ref_type_of(self, cid: Optional[int], index: int) -> Optional[int]:
+        """Type of reference slot *index* of class *cid*, if known."""
+        if cid is None:
+            return None
+        types = self._tref_table.get(cid)
+        if types is None or index >= len(types):
+            return None
+        return types[index]
+
+    # ------------------------------------------------------------------ #
+    # Object access (the hot path)
+    # ------------------------------------------------------------------ #
+
+    def access(self, oid: int, source: Optional[StoredObject] = None,
+               ref_index: Optional[int] = None,
+               via_back_ref: bool = False) -> StoredObject:
+        """Read one object, charging I/O and notifying the policy.
+
+        Prefetched records (see :meth:`prefetch`) are served from the
+        decoded-record cache without touching the engine again; the
+        clustering policy still observes every link crossing.  Each
+        prefetched record is consumed by its first serve (so the cache
+        never grows past one frontier/chunk, and repeat visits are
+        charged to the engine exactly as they are without batching —
+        the OO1 heritage of counting duplicate visits carries over to
+        the physical counters).
+        """
+        record = self._prefetched.pop(oid, None) if self.batch_reads else None
+        if record is None:
+            record = self.store.read_object(oid)
+        source_oid = source.oid if source is not None else None
+        if source is not None and ref_index is not None:
+            if via_back_ref:
+                # The crossed slot belongs to the *target* object's class.
+                ref_type = self.ref_type_of(record.cid, ref_index)
+            else:
+                ref_type = self.ref_type_of(source.cid, ref_index)
+        else:
+            ref_type = None
+        self.policy.observe_access(source_oid, oid, ref_type)
+        return record
+
+    def touch(self, oid: int, source_oid: Optional[int] = None
+              ) -> StoredObject:
+        """Read one object with an untyped policy observation.
+
+        The generic operations' access path: range lookups and
+        sequential scans cross no reference slot, so the policy sees a
+        ``None`` reference type.  Like :meth:`access`, a prefetched
+        record is consumed by its first serve.
+        """
+        record = self._prefetched.pop(oid, None) if self.batch_reads else None
+        if record is None:
+            record = self.store.read_object(oid)
+        self.policy.observe_access(source_oid, oid, None)
+        return record
+
+    def prefetch(self, oids: Iterable[int]) -> int:
+        """Batch-fetch *oids* into the decoded-record cache.
+
+        A no-op (returning 0) unless the engine supports batched reads,
+        so callers sprinkle frontier prefetches without changing the
+        behaviour of cost-model engines.  Returns the number of records
+        actually fetched; already-cached oids are not re-read.
+
+        Each cached record is consumed by its first :meth:`access` /
+        :meth:`touch`, so the cache holds at most one frontier or scan
+        chunk at a time.  Note that engine-side *physical* counters
+        (``object_accesses``, SQL round trips) legitimately differ
+        between batched and per-object runs — prefetching may fetch
+        objects a truncated traversal never serves; the paper's
+        *logical* "accessed objects" metric is tracked by the metrics
+        pipeline and is batching-invariant.
+        """
+        if not self.batch_reads:
+            return 0
+        missing = [oid for oid in dict.fromkeys(oids)
+                   if oid not in self._prefetched]
+        if not missing:
+            return 0
+        self._prefetched.update(self.store.read_many(missing))
+        return len(missing)
+
+    def end_transaction(self) -> None:
+        """Close one transaction: notify the policy, drop the prefetch
+        cache (its residency guarantee does not outlive the frontier)."""
+        self.policy.on_transaction_end()
+        self._prefetched.clear()
+
+    # ------------------------------------------------------------------ #
+    # Mutation (the generic-operations extension)
+    # ------------------------------------------------------------------ #
+
+    def write_record(self, record: StoredObject) -> None:
+        """Update one object in place."""
+        self._prefetched.pop(record.oid, None)
+        self.store.write_object(record)
+
+    def write_records(self, records: Sequence[StoredObject]) -> None:
+        """Write a batch — one round trip on engines with native batched
+        writes, an in-order loop everywhere else."""
+        if not records:
+            return
+        for record in records:
+            self._prefetched.pop(record.oid, None)
+        if self.batch_writes:
+            self.store.write_many(records)
+        else:
+            for record in records:
+                self.store.write_object(record)
+
+    def insert_record(self, record: StoredObject) -> None:
+        """Persist a brand-new object."""
+        self.store.insert_object(record)
+
+    def delete_record(self, oid: int) -> None:
+        """Remove an object."""
+        self._prefetched.pop(oid, None)
+        self.store.delete_object(oid)
+
+    # ------------------------------------------------------------------ #
+    # Metrics charging
+    # ------------------------------------------------------------------ #
+
+    def measure(self) -> Measurement:
+        """Context manager measuring one span (counter delta + wall)."""
+        return Measurement(self.store)
+
+    def snapshot(self) -> StoreSnapshot:
+        """The engine's counter snapshot."""
+        return self.store.snapshot()
+
+    def charge_think_time(self, seconds: float) -> None:
+        """Advance the simulated clock by THINK (scaled by the model)."""
+        if seconds > 0.0:
+            self.store.clock.advance(
+                seconds * self.store.cost_model.think_scale)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def object_count(self) -> int:
+        """Live objects in the engine."""
+        return self.store.object_count
+
+    def require_loaded(self) -> None:
+        """Raise unless the engine holds a bulk-loaded database."""
+        if self.store.object_count == 0:
+            raise WorkloadError("the store is empty; bulk-load the database "
+                                "before running a workload")
+
+    def current_order(self) -> List[int]:
+        """Object ids in the engine's physical (or canonical) order."""
+        return self.store.current_order()
+
+    def drop_caches(self) -> bool:
+        """Evict engine caches for an honest cold run.
+
+        Returns ``True`` when cached state was actually dropped (the
+        classic store always drops; backends report through the
+        protocol's :meth:`~repro.backends.base.Backend.drop_caches`).
+        """
+        self._prefetched.clear()
+        result = self.store.drop_caches()
+        return True if result is None else bool(result)
+
+    def flush(self) -> int:
+        """Persist buffered writes (no-op on write-through engines)."""
+        flush = getattr(self.store, "flush", None)
+        if flush is None:
+            return 0
+        return int(flush() or 0)
+
+    def reset_stats(self) -> None:
+        """Zero the engine's accounting counters."""
+        self.store.reset_stats()
+
+    def close(self) -> None:
+        """Release engine resources."""
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    @property
+    def backend_name(self) -> str:
+        """Engine name (registry name for backends, class name else)."""
+        return getattr(self.store, "name", type(self.store).__name__)

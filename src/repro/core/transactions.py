@@ -20,24 +20,26 @@ Duplicate visits are counted by default (the paper's OO1 heritage: its
 depth-7 traversal touches "3280 parts, with possible duplicates"); set
 semantics are available through ``dedupe=True``.
 
-The :class:`AccessContext` funnels every object access through the store
-(so page faults are charged) and notifies the clustering policy of each
-link crossing (DSTC's observation input).
+Every object access funnels through the execution kernel
+(:class:`~repro.core.session.Session`, historically named
+``AccessContext`` — the old name remains an alias), which charges the
+engine and notifies the clustering policy of each link crossing (DSTC's
+observation input).  Set-oriented accesses expand level by level and
+prefetch each BFS frontier through the kernel's batched read path, so
+engines with native batching (SQLite) answer a whole frontier — forward
+or reversed — with one round trip.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
+from typing import List, Optional, Set, Tuple
 
-from repro.backends.base import Backend
-from repro.clustering.base import ClusteringPolicy, NoClustering
+from repro.core.session import Session
 from repro.errors import WorkloadError
 from repro.rand.lewis_payne import LewisPayne
 from repro.store.serializer import StoredObject
-from repro.store.storage import ObjectStore
 
 __all__ = [
     "TransactionKind",
@@ -46,6 +48,10 @@ __all__ = [
     "AccessContext",
     "run_transaction",
 ]
+
+#: The kernel superseded the transaction-local access context; the old
+#: name stays importable for existing harnesses and tests.
+AccessContext = Session
 
 
 class TransactionKind(str, Enum):
@@ -84,58 +90,6 @@ class TransactionResult:
     truncated: bool
 
 
-class AccessContext:
-    """Store + policy + catalog wiring shared by all transactions.
-
-    ``store`` may be the classic :class:`ObjectStore` or any
-    :class:`~repro.backends.base.Backend`; only the shared
-    ``read_object`` access path is used here.
-    """
-
-    def __init__(self, store: Union[ObjectStore, Backend],
-                 policy: Optional[ClusteringPolicy] = None,
-                 tref_table: Optional[Mapping[int, Tuple[int, ...]]] = None,
-                 catalog: Optional[Mapping[int, int]] = None) -> None:
-        self.store = store
-        self.policy = policy or NoClustering()
-        self._tref_table = dict(tref_table or {})
-        self._catalog = dict(catalog or {})
-
-    def class_of(self, oid: int) -> Optional[int]:
-        """Class of *oid* from the catalog (no I/O), if known."""
-        return self._catalog.get(oid)
-
-    def ref_type_of(self, cid: Optional[int], index: int) -> Optional[int]:
-        """Type of reference slot *index* of class *cid*, if known."""
-        if cid is None:
-            return None
-        types = self._tref_table.get(cid)
-        if types is None or index >= len(types):
-            return None
-        return types[index]
-
-    def access(self, oid: int, source: Optional[StoredObject] = None,
-               ref_index: Optional[int] = None,
-               via_back_ref: bool = False) -> StoredObject:
-        """Read one object, charging I/O and notifying the policy."""
-        record = self.store.read_object(oid)
-        source_oid = source.oid if source is not None else None
-        if source is not None and ref_index is not None:
-            if via_back_ref:
-                # The crossed slot belongs to the *target* object's class.
-                ref_type = self.ref_type_of(record.cid, ref_index)
-            else:
-                ref_type = self.ref_type_of(source.cid, ref_index)
-        else:
-            ref_type = None
-        self.policy.observe_access(source_oid, oid, ref_type)
-        return record
-
-    def end_transaction(self) -> None:
-        """Notify the policy that one transaction finished."""
-        self.policy.on_transaction_end()
-
-
 class _Tracker:
     """Visit accounting shared by the four traversal algorithms."""
 
@@ -166,7 +120,7 @@ class _Tracker:
         return True  # Expansion filtering handled by callers via `seen`.
 
 
-def run_transaction(ctx: AccessContext, spec: TransactionSpec,
+def run_transaction(ctx: Session, spec: TransactionSpec,
                     rng: LewisPayne) -> TransactionResult:
     """Execute one transaction and return its logical result."""
     tracker = _Tracker(spec.max_visits, spec.dedupe)
@@ -198,7 +152,7 @@ def run_transaction(ctx: AccessContext, spec: TransactionSpec,
 # Neighbour expansion (forward or reversed)
 # ---------------------------------------------------------------------- #
 
-def _neighbours(ctx: AccessContext, record: StoredObject, reverse: bool,
+def _neighbours(ctx: Session, record: StoredObject, reverse: bool,
                 type_filter: Optional[int]) -> List[Tuple[int, int, bool]]:
     """(target oid, ref index, via_back_ref) edges leaving *record*."""
     edges: List[Tuple[int, int, bool]] = []
@@ -224,19 +178,36 @@ def _neighbours(ctx: AccessContext, record: StoredObject, reverse: bool,
 # Set-oriented access: breadth first on all references
 # ---------------------------------------------------------------------- #
 
-def _breadth_first(ctx: AccessContext, spec: TransactionSpec,
+def _breadth_first(ctx: Session, spec: TransactionSpec,
                    tracker: _Tracker) -> None:
+    """Level-order expansion with one batched fetch per frontier.
+
+    Processing a level edge-by-edge in FIFO order is exactly what the
+    classic deque formulation did, so visit counts, policy observations
+    and (on cost-model engines) per-object charging are unchanged; the
+    only difference is that each level's target set is announced to the
+    kernel up front, which engines with native batching answer in a
+    single round trip — forward and reversed traversals alike.
+    """
     root_record = ctx.access(spec.root)
     if not tracker.note(spec.root, 0):
         return
     seen: Set[int] = {spec.root}
-    frontier: "deque[Tuple[StoredObject, int]]" = deque([(root_record, 0)])
+    frontier: List[Tuple[StoredObject, int]] = [(root_record, 0)]
     while frontier:
-        record, depth = frontier.popleft()
-        if depth >= spec.depth:
-            continue
-        for target, index, via_back in _neighbours(ctx, record, spec.reverse,
-                                                   None):
+        edges: List[Tuple[StoredObject, int, int, int, bool]] = []
+        for record, depth in frontier:
+            if depth >= spec.depth:
+                continue
+            for target, index, via_back in _neighbours(
+                    ctx, record, spec.reverse, None):
+                edges.append((record, depth, target, index, via_back))
+        if not edges:
+            return
+        ctx.prefetch(target for _, _, target, _, _ in edges
+                     if not (spec.dedupe and target in seen))
+        next_frontier: List[Tuple[StoredObject, int]] = []
+        for record, depth, target, index, via_back in edges:
             if spec.dedupe and target in seen:
                 continue
             child = ctx.access(target, source=record, ref_index=index,
@@ -244,14 +215,15 @@ def _breadth_first(ctx: AccessContext, spec: TransactionSpec,
             if not tracker.note(target, depth + 1):
                 return
             seen.add(target)
-            frontier.append((child, depth + 1))
+            next_frontier.append((child, depth + 1))
+        frontier = next_frontier
 
 
 # ---------------------------------------------------------------------- #
 # Simple & hierarchy traversals: depth first
 # ---------------------------------------------------------------------- #
 
-def _depth_first(ctx: AccessContext, spec: TransactionSpec,
+def _depth_first(ctx: Session, spec: TransactionSpec,
                  tracker: _Tracker, type_filter: Optional[int]) -> None:
     root_record = ctx.access(spec.root)
     if not tracker.note(spec.root, 0):
@@ -284,7 +256,7 @@ def _depth_first(ctx: AccessContext, spec: TransactionSpec,
 _STOCHASTIC_RETRIES = 8
 
 
-def _stochastic(ctx: AccessContext, spec: TransactionSpec,
+def _stochastic(ctx: Session, spec: TransactionSpec,
                 tracker: _Tracker, rng: LewisPayne) -> None:
     record = ctx.access(spec.root)
     if not tracker.note(spec.root, 0):

@@ -14,7 +14,6 @@ simulated clock).  Root objects come from DIST5/RAND5.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -23,8 +22,8 @@ from repro.clustering.base import ClusteringPolicy, NoClustering, PlacementConte
 from repro.core.database import OCBDatabase
 from repro.core.metrics import MetricsCollector, PhaseReport
 from repro.core.parameters import WorkloadParameters
+from repro.core.session import Session
 from repro.core.transactions import (
-    AccessContext,
     TransactionKind,
     TransactionSpec,
     run_transaction,
@@ -59,42 +58,56 @@ class WorkloadReport:
 class WorkloadRunner:
     """Executes the OCB protocol for a single client.
 
-    ``store`` is either the classic :class:`ObjectStore` (the simulated
-    engine, driven directly) or any :class:`~repro.backends.base.Backend`
-    — the runner only uses the surface the two share, so the same
-    workload, RNG streams and transaction mix execute unchanged against
-    every engine.
+    ``store`` is the classic :class:`ObjectStore` (the simulated engine,
+    driven directly), any :class:`~repro.backends.base.Backend`, a
+    registered backend **name** (the engine is created and bulk-loaded
+    with the database), or a ready :class:`~repro.core.session.Session`
+    — the runner only talks to the kernel, so the same workload, RNG
+    streams and transaction mix execute unchanged against every engine.
     """
 
     def __init__(self, database: OCBDatabase,
-                 store: Union[ObjectStore, Backend],
+                 store: Union[ObjectStore, Backend, Session, str],
                  parameters: WorkloadParameters,
                  policy: Optional[ClusteringPolicy] = None,
                  rng: Optional[LewisPayne] = None,
-                 client_id: int = 0) -> None:
-        if store.object_count == 0:
-            raise WorkloadError("the store is empty; bulk-load the database "
-                                "before running a workload")
-        if not isinstance(policy or NoClustering(), NoClustering) and \
-                not getattr(store, "supports_clustering", True):
-            raise WorkloadError(
-                f"backend {getattr(store, 'name', type(store).__name__)!r} "
-                f"does not support physical clustering; use the simulated "
-                f"backend for clustering experiments")
+                 client_id: int = 0,
+                 batch: Optional[bool] = None) -> None:
         self.database = database
-        self.store = store
         self.parameters = parameters
         self.policy = policy or NoClustering()
+        if isinstance(store, Session):
+            if policy is not None and policy is not store.policy:
+                raise WorkloadError(
+                    "conflicting clustering policies: the Session already "
+                    "owns one; pass the policy when constructing the "
+                    "Session, not the runner")
+            self.session = store
+            self.policy = self.session.policy
+        elif store is None or isinstance(store, str):
+            # A registered backend name: create, bulk-load, run.
+            self.session = Session.for_database(
+                database, store, policy=self.policy, batch=batch)
+        else:
+            self.session = Session(store, policy=self.policy,
+                                   tref_table=database.tref_table(),
+                                   catalog=database.catalog(), batch=batch)
+        self.store = self.session.store
+        self.session.require_loaded()
+        if not isinstance(self.policy, NoClustering) and \
+                not getattr(self.store, "supports_clustering", True):
+            raise WorkloadError(
+                f"backend {self.session.backend_name!r} "
+                f"does not support physical clustering; use the simulated "
+                f"backend for clustering experiments")
         self.client_id = client_id
         seed = parameters.seed if parameters.seed is not None \
             else database.parameters.seed
         base_rng = rng or LewisPayne(seed)
         self._rng = base_rng.spawn(_STREAM_WORKLOAD + client_id)
-        self.context = AccessContext(
-            store=store,
-            policy=self.policy,
-            tref_table=database.tref_table(),
-            catalog=database.catalog())
+        #: Backward-compatible alias: the kernel superseded the
+        #: per-runner ``AccessContext``.
+        self.context = self.session
 
     # ------------------------------------------------------------------ #
     # Drawing transactions
@@ -133,16 +146,10 @@ class WorkloadRunner:
     def step(self, collector: MetricsCollector) -> None:
         """Execute exactly one transaction (multi-client interleaving)."""
         spec = self.draw_spec()
-        before = self.store.snapshot()
-        wall_start = time.perf_counter()
-        result = run_transaction(self.context, spec, self._rng)
-        wall = time.perf_counter() - wall_start
-        delta = self.store.snapshot() - before
-        collector.record(result, delta, wall)
-        think = self.parameters.think_time
-        if think > 0.0:
-            self.store.clock.advance(
-                think * self.store.cost_model.think_scale)
+        with self.session.measure() as span:
+            result = run_transaction(self.session, spec, self._rng)
+        collector.record(result, span.delta, span.wall)
+        self.session.charge_think_time(self.parameters.think_time)
         self._maybe_auto_reorganize()
 
     def run_phase(self, name: str, transactions: int) -> PhaseReport:
@@ -167,7 +174,7 @@ class WorkloadRunner:
             return
         context = PlacementContext(sizes=self.database.record_sizes(),
                                    page_size=self.store.page_size)
-        placement = self.policy.propose_placement(self.store.current_order(),
+        placement = self.policy.propose_placement(self.session.current_order(),
                                                   context)
         if placement is not None:
             self.store.reorganize(placement.order,

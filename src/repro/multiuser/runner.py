@@ -7,6 +7,15 @@ Lewis–Payne substream, interleave transactions round-robin against the
 *shared* store and buffer pool — so clients pollute each other's cache
 exactly as concurrent processes would on the paper's single-machine setup.
 
+The runner executes through the unified kernel, so ``store`` accepts the
+classic :class:`~repro.store.storage.ObjectStore`, any
+:class:`~repro.backends.base.Backend`, or a registered backend **name**
+(``MultiClientRunner(db, "sqlite", params)`` creates, bulk-loads and
+shares one SQLite engine between all clients).  Each client gets its own
+:class:`~repro.core.session.Session` over the shared engine — the cache
+pollution is real, the RNG streams are per-client, and the logical
+metrics are identical on every backend.
+
 (Queueing *delays* under contention are modelled separately by
 :mod:`repro.multiuser.des` on top of the discrete-event engine.)
 """
@@ -14,12 +23,14 @@ exactly as concurrent processes would on the paper's single-machine setup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from repro.backends.base import Backend
 from repro.clustering.base import ClusteringPolicy, NoClustering
 from repro.core.database import OCBDatabase
-from repro.core.metrics import MetricsCollector, PhaseReport
+from repro.core.metrics import LatencyPercentiles, MetricsCollector, PhaseReport
 from repro.core.parameters import WorkloadParameters
+from repro.core.session import Session
 from repro.core.workload import WorkloadReport, WorkloadRunner
 from repro.errors import WorkloadError
 from repro.store.storage import ObjectStore
@@ -32,10 +43,16 @@ class MultiUserReport:
     """Per-client and merged metrics of a multi-user run."""
 
     clients: List[WorkloadReport] = field(default_factory=list)
+    backend_name: str = "simulated"
 
     @property
     def merged_cold(self) -> PhaseReport:
-        """All clients' cold runs folded together."""
+        """All clients' cold runs folded together.
+
+        The fold merges *everything* per kind — simulated totals **and**
+        the raw wall-clock samples — so the merged phase reports the
+        same latency percentiles a single-client run would.
+        """
         merged = PhaseReport(name="cold")
         for report in self.clients:
             merged.merge(report.cold)
@@ -43,7 +60,7 @@ class MultiUserReport:
 
     @property
     def merged_warm(self) -> PhaseReport:
-        """All clients' warm runs folded together."""
+        """All clients' warm runs folded together (see :attr:`merged_cold`)."""
         merged = PhaseReport(name="warm")
         for report in self.clients:
             merged.merge(report.warm)
@@ -59,22 +76,46 @@ class MultiUserReport:
         """Mean page reads per warm transaction across all clients."""
         return self.merged_warm.totals.reads_per_transaction
 
+    # -- wall-clock percentiles (cross-backend comparisons) ------------- #
+
+    @property
+    def cold_wall_percentiles(self) -> LatencyPercentiles:
+        """P50/P95/P99 over every cold transaction of every client."""
+        return self.merged_cold.wall_percentiles()
+
+    @property
+    def warm_wall_percentiles(self) -> LatencyPercentiles:
+        """P50/P95/P99 over every warm transaction of every client."""
+        return self.merged_warm.wall_percentiles()
+
+    def client_wall_percentiles(self, client: int) -> LatencyPercentiles:
+        """One client's warm-phase wall-clock percentiles."""
+        return self.clients[client].warm.wall_percentiles()
+
 
 class MultiClientRunner:
     """Round-robin interleaving of CLIENTN workload streams."""
 
-    def __init__(self, database: OCBDatabase, store: ObjectStore,
+    def __init__(self, database: OCBDatabase,
+                 store: Union[ObjectStore, Backend, str],
                  parameters: WorkloadParameters,
-                 policy: Optional[ClusteringPolicy] = None) -> None:
+                 policy: Optional[ClusteringPolicy] = None,
+                 batch: Optional[bool] = None,
+                 backend_options: Optional[dict] = None) -> None:
         if parameters.clients < 1:
             raise WorkloadError(f"need >= 1 client, got {parameters.clients}")
         self.database = database
-        self.store = store
         self.parameters = parameters
         self.policy = policy or NoClustering()
+        if store is None or isinstance(store, str):
+            # Resolve the name once; every client shares the engine.
+            store = Session.for_database(
+                database, store, policy=self.policy, batch=batch,
+                backend_options=backend_options).store
+        self.store = store
         self._runners = [
             WorkloadRunner(database, store, parameters, policy=self.policy,
-                           client_id=client)
+                           client_id=client, batch=batch)
             for client in range(parameters.clients)]
 
     def run(self) -> MultiUserReport:
@@ -91,4 +132,6 @@ class MultiClientRunner:
 
         reports = [WorkloadReport(cold=c.report, warm=w.report)
                    for c, w in zip(cold_collectors, warm_collectors)]
-        return MultiUserReport(clients=reports)
+        backend_name = getattr(self.store, "name",
+                               type(self.store).__name__)
+        return MultiUserReport(clients=reports, backend_name=backend_name)

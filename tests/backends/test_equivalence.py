@@ -1,0 +1,174 @@
+"""Cross-backend equivalence: same seed => identical logical metrics.
+
+The tentpole guarantee of the unified execution kernel — for every
+execution path (OCB transactions, the extended generic operation set,
+multi-user interleaving), the *logical* workload (objects visited,
+transaction/operation mix, objects touched) is a function of the seed
+and the generated graph alone, never of the storage engine.  These
+tests run each path on every registered backend and compare signatures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import available_backends, create_backend
+from repro.core.generation import generate_database
+from repro.core.generic_ops import GenericOperationsRunner
+from repro.core.parameters import DatabaseParameters, WorkloadParameters
+from repro.core.workload import WorkloadRunner
+from repro.multiuser.runner import MultiClientRunner
+from repro.store.storage import StoreConfig
+
+CONFIG = StoreConfig(page_size=512, buffer_pages=16)
+
+
+def backend_names_under_test():
+    return [info.name for info in available_backends()]
+
+
+def _loaded(name, database):
+    backend = create_backend(name, CONFIG)
+    records = database.to_records()
+    backend.bulk_load(records.values(), order=sorted(records))
+    backend.reset_stats()
+    return backend
+
+
+@pytest.fixture(scope="module")
+def equivalence_database():
+    params = DatabaseParameters(num_classes=6, max_nref=4, base_size=25,
+                                num_objects=220, num_ref_types=4, seed=1998)
+    database, _ = generate_database(params, validate=True)
+    return database
+
+
+class TestTransactionEquivalence:
+    def _signature(self, name, database, params):
+        backend = _loaded(name, database)
+        report = WorkloadRunner(database, backend, params).run()
+        backend.close()
+        signature = []
+        for phase in (report.cold, report.warm):
+            for kind, stats in sorted(phase.per_kind.items()):
+                signature.append((phase.name, kind.value, stats.count,
+                                  stats.visits, stats.distinct_objects,
+                                  stats.truncated))
+        return tuple(signature)
+
+    def test_per_kind_metrics_identical(self, equivalence_database):
+        params = WorkloadParameters(set_depth=2, simple_depth=2,
+                                    hierarchy_depth=3, stochastic_depth=8,
+                                    cold_n=4, hot_n=16, max_visits=300)
+        signatures = {name: self._signature(name, equivalence_database,
+                                            params)
+                      for name in backend_names_under_test()}
+        assert len(set(signatures.values())) == 1, signatures
+
+    def test_reversed_traversals_identical(self, equivalence_database):
+        params = WorkloadParameters(set_depth=2, simple_depth=2,
+                                    hierarchy_depth=2, stochastic_depth=6,
+                                    cold_n=2, hot_n=12, max_visits=300,
+                                    reverse_probability=0.5)
+        signatures = {name: self._signature(name, equivalence_database,
+                                            params)
+                      for name in backend_names_under_test()}
+        assert len(set(signatures.values())) == 1, signatures
+
+    def test_backend_name_accepted_directly(self, equivalence_database):
+        params = WorkloadParameters(set_depth=2, simple_depth=2,
+                                    hierarchy_depth=2, stochastic_depth=5,
+                                    cold_n=1, hot_n=6, max_visits=200)
+        runner = WorkloadRunner(equivalence_database, "memory", params)
+        report = runner.run()
+        assert report.warm.totals.count == 6
+        runner.session.close()
+
+    def test_sqlite_batched_equals_unbatched(self, equivalence_database):
+        params = WorkloadParameters(set_depth=3, simple_depth=2,
+                                    hierarchy_depth=2, stochastic_depth=6,
+                                    cold_n=2, hot_n=10, max_visits=400,
+                                    p_set=0.7, p_simple=0.1,
+                                    p_hierarchy=0.1, p_stochastic=0.1)
+        signatures = []
+        for batch in (True, False):
+            backend = _loaded("sqlite", equivalence_database)
+            report = WorkloadRunner(equivalence_database, backend, params,
+                                    batch=batch).run()
+            totals = report.warm.totals
+            signatures.append((totals.count, totals.visits,
+                               totals.distinct_objects))
+            backend.close()
+        assert signatures[0] == signatures[1]
+
+
+class TestGenericOperationEquivalence:
+    def _signature(self, name):
+        # Mutating workload: every backend gets its own generated graph.
+        params = DatabaseParameters(num_classes=5, max_nref=3, base_size=25,
+                                    num_objects=120, seed=77)
+        database, _ = generate_database(params)
+        runner = GenericOperationsRunner(database, name)
+        results = runner.run_mix(18)
+        database.validate()
+        assert set(runner.store.iter_oids()) == set(database.objects)
+        signature = tuple((r.operation.value, r.objects_touched)
+                          for r in results)
+        close = getattr(runner.store, "close", None)
+        if close is not None:
+            close()
+        return signature
+
+    def test_operation_stream_identical(self):
+        signatures = {name: self._signature(name)
+                      for name in backend_names_under_test()}
+        assert len(set(signatures.values())) == 1, signatures
+
+    def test_store_database_lockstep_on_sqlite(self):
+        params = DatabaseParameters(num_classes=5, max_nref=3, base_size=25,
+                                    num_objects=100, seed=13)
+        database, _ = generate_database(params)
+        runner = GenericOperationsRunner(database, "sqlite")
+        for _ in range(6):
+            runner.insert()
+            runner.update()
+        runner.delete()
+        database.validate()
+        for oid, obj in database.objects.items():
+            record = runner.store.read_object(oid)
+            assert record.refs == tuple(obj.oref)
+            assert sorted(record.back_refs) == \
+                sorted(tuple(p) for p in obj.back_refs)
+        runner.store.close()
+
+
+class TestMultiUserEquivalence:
+    def _signature(self, name, database):
+        params = WorkloadParameters(clients=3, cold_n=2, hot_n=6,
+                                    set_depth=2, simple_depth=2,
+                                    hierarchy_depth=2, stochastic_depth=5,
+                                    max_visits=150)
+        runner = MultiClientRunner(database, name, params)
+        report = runner.run()
+        signature = tuple((c.warm.totals.count, c.warm.totals.visits,
+                           c.warm.totals.distinct_objects)
+                          for c in report.clients)
+        close = getattr(runner.store, "close", None)
+        if close is not None:
+            close()
+        return signature, report
+
+    def test_per_client_metrics_identical(self, equivalence_database):
+        signatures = {}
+        for name in backend_names_under_test():
+            signature, _report = self._signature(name, equivalence_database)
+            signatures[name] = signature
+        assert len(set(signatures.values())) == 1, signatures
+
+    def test_merged_percentiles_on_every_backend(self, equivalence_database):
+        for name in backend_names_under_test():
+            _signature, report = self._signature(name, equivalence_database)
+            wall = report.warm_wall_percentiles
+            assert wall.count == report.merged_warm.transaction_count
+            assert 0.0 < wall.p50 <= wall.p95 <= wall.p99
+            assert report.backend_name == name

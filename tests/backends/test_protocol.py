@@ -91,6 +91,135 @@ class TestAccessPaths:
             loaded_backend.delete_object(999_999)
 
 
+class TestBatchedAccess:
+    def test_read_many_matches_point_reads(self, loaded_backend,
+                                           small_database):
+        records = small_database.to_records()
+        oids = sorted(records)[:25]
+        batch = loaded_backend.read_many(oids)
+        assert set(batch) == set(oids)
+        for oid in oids:
+            assert batch[oid] == records[oid]
+
+    def test_read_many_dedupes(self, loaded_backend, small_database):
+        oid = sorted(small_database.to_records())[0]
+        before = loaded_backend.snapshot().object_accesses
+        batch = loaded_backend.read_many([oid, oid, oid])
+        assert list(batch) == [oid]
+        # Duplicates are fetched (and charged) once.
+        assert loaded_backend.snapshot().object_accesses == before + 1
+
+    def test_read_many_unknown_raises(self, loaded_backend):
+        with pytest.raises(UnknownObject):
+            loaded_backend.read_many([999_999])
+
+    def test_read_many_empty(self, loaded_backend):
+        assert loaded_backend.read_many([]) == {}
+
+    def test_write_many_persists(self, loaded_backend, small_database):
+        records = small_database.to_records()
+        changed = [records[oid].with_back_refs(((1000 + oid, 0),))
+                   for oid in sorted(records)[:10]]
+        loaded_backend.write_many(changed)
+        for record in changed:
+            assert loaded_backend.read_object(record.oid) == record
+
+    def test_write_many_unknown_raises(self, backend):
+        backend.bulk_load(make_records(3))
+        with pytest.raises(UnknownObject):
+            backend.write_many([StoredObject(oid=77, cid=1)])
+
+    def test_batched_flags_are_consistent(self, backend):
+        # Engines declaring native batching must override the loop.
+        from repro.backends import Backend
+        if backend.supports_batched_reads:
+            assert type(backend).read_many is not Backend.read_many
+        if backend.supports_batched_writes:
+            assert type(backend).write_many is not Backend.write_many
+
+
+class TestColdCacheControl:
+    def test_drop_caches_reports_bool(self, loaded_backend):
+        result = loaded_backend.drop_caches()
+        assert isinstance(result, bool)
+
+    def test_memory_reports_no_cache(self):
+        from repro.backends import MemoryBackend
+        backend = MemoryBackend()
+        backend.bulk_load(make_records(3))
+        assert backend.drop_caches() is False
+
+    def test_engines_with_cache_report_true(self, loaded_backend):
+        if loaded_backend.name == "memory":
+            pytest.skip("the dict backend has no cache")
+        assert loaded_backend.drop_caches() is True
+
+    def test_data_survives_cache_drop(self, loaded_backend, small_database):
+        records = small_database.to_records()
+        loaded_backend.drop_caches()
+        assert loaded_backend.object_count == len(records)
+        oid = sorted(records)[0]
+        assert loaded_backend.read_object(oid) == records[oid]
+
+    def test_mutations_survive_cache_drop(self, loaded_backend,
+                                          small_database):
+        oid = sorted(small_database.to_records())[0]
+        changed = small_database.to_records()[oid].with_back_refs(((7, 1),))
+        loaded_backend.write_object(changed)
+        loaded_backend.drop_caches()
+        assert loaded_backend.read_object(oid) == changed
+
+
+class TestSQLiteBatching:
+    """The native set-oriented access path saves real round trips."""
+
+    def _loaded(self, small_database):
+        from repro.backends import SQLiteBackend
+        backend = SQLiteBackend(page_size=512, cache_pages=16)
+        records = small_database.to_records()
+        backend.bulk_load(records.values(), order=sorted(records))
+        backend.reset_stats()
+        return backend
+
+    def test_read_many_is_one_round_trip(self, small_database):
+        backend = self._loaded(small_database)
+        oids = sorted(small_database.objects)[:50]
+        before = backend.sql_round_trips
+        backend.read_many(oids)
+        assert backend.sql_round_trips == before + 1
+        backend.close()
+
+    def test_read_many_chunks_above_variable_limit(self, small_database):
+        from repro.backends.sqlite import _MAX_BATCH_VARIABLES
+        backend = self._loaded(small_database)
+        # Duplicate the oid list beyond the chunk size; uniques fit in 1.
+        oids = sorted(small_database.objects)
+        wanted = (oids * ((_MAX_BATCH_VARIABLES // len(oids)) + 2))
+        before = backend.sql_round_trips
+        batch = backend.read_many(wanted)
+        assert set(batch) == set(oids)
+        assert backend.sql_round_trips == before + 1
+        backend.close()
+
+    def test_write_many_is_one_round_trip(self, small_database):
+        backend = self._loaded(small_database)
+        records = small_database.to_records()
+        changed = [records[oid].with_back_refs(((42, 0),))
+                   for oid in sorted(records)[:20]]
+        before = backend.sql_round_trips
+        backend.write_many(changed)
+        assert backend.sql_round_trips == before + 1
+        backend.close()
+
+    def test_round_trips_reset_with_stats(self, small_database):
+        backend = self._loaded(small_database)
+        backend.read_object(sorted(small_database.objects)[0])
+        assert backend.sql_round_trips > 0
+        backend.reset_stats()
+        assert backend.sql_round_trips == 0
+        backend.close()
+
+
 class TestTraverseRefs:
     def test_matches_record_refs(self, loaded_backend, small_database):
         records = small_database.to_records()

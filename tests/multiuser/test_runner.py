@@ -67,3 +67,74 @@ class TestMultiClientRunner:
         report = MultiUserReport()
         assert report.client_count == 0
         assert report.merged_warm.transaction_count == 0
+        assert report.warm_wall_percentiles.count == 0
+
+
+class TestMergedWallPercentiles:
+    """Multi-user reports quote P50/P95/P99 like single-client runs."""
+
+    def test_merged_percentiles_cover_every_transaction(self,
+                                                        small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=3)).run()
+        warm = report.warm_wall_percentiles
+        assert warm.count == report.merged_warm.transaction_count == 15
+        assert 0.0 < warm.p50 <= warm.p95 <= warm.p99
+        cold = report.cold_wall_percentiles
+        assert cold.count == report.merged_cold.transaction_count == 6
+
+    def test_merged_samples_are_union_of_clients(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=2)).run()
+        merged = sorted(report.merged_warm.totals.wall_samples)
+        unioned = sorted(sample for client in report.clients
+                         for sample in client.warm.totals.wall_samples)
+        assert merged == unioned
+
+    def test_per_client_percentiles(self, small_database):
+        store = fresh_store(small_database)
+        report = MultiClientRunner(small_database, store,
+                                   workload(clients=2)).run()
+        for client in range(report.client_count):
+            wall = report.client_wall_percentiles(client)
+            assert wall.count == 5
+            assert wall.p99 > 0.0
+
+
+class TestBackendNames:
+    """The kernel lets multi-user runs target any registered engine."""
+
+    def test_runs_on_named_backend(self, small_database):
+        report = MultiClientRunner(small_database, "memory",
+                                   workload(clients=2)).run()
+        assert report.backend_name == "memory"
+        assert report.client_count == 2
+        for client in report.clients:
+            assert client.warm.transaction_count == 5
+            # Wall-clock only: no simulated I/O on a real engine.
+            assert client.warm.totals.io_reads == 0
+
+    def test_runs_on_sqlite(self, small_database):
+        runner = MultiClientRunner(small_database, "sqlite",
+                                   workload(clients=2))
+        report = runner.run()
+        assert report.backend_name == "sqlite"
+        assert report.warm_wall_percentiles.p99 > 0.0
+        runner.store.close()
+
+    def test_clients_share_one_engine(self, small_database):
+        runner = MultiClientRunner(small_database, "memory",
+                                   workload(clients=3))
+        assert all(r.store is runner.store for r in runner._runners)
+
+    def test_backend_options_reach_the_engine(self, small_database,
+                                              tmp_path):
+        path = str(tmp_path / "multiuser.db")
+        runner = MultiClientRunner(small_database, "sqlite",
+                                   workload(clients=2, cold=1, hot=2),
+                                   backend_options={"path": path})
+        runner.run()
+        runner.store.close()
+        assert (tmp_path / "multiuser.db").exists()

@@ -79,6 +79,51 @@ class TestBackends:
         assert "backend  : sqlite" in out
         assert "wall-clock latency" in out
 
+    def test_backends_table_shows_capabilities(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "batched-reads" in out
+        assert "cold-cache" in out
+        assert "clustering" in out
+
+    def test_run_cold_start(self, capsys):
+        assert main(["run", "--preset", "default-small",
+                     "--backend", "sqlite", "--cold-start"]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : sqlite" in out
+
+
+class TestKernelCommands:
+    """`ops` and `multiuser` drive the unified kernel from the CLI."""
+
+    def test_ops_on_sqlite(self, capsys):
+        assert main(["ops", "--preset", "default-small",
+                     "--backend", "sqlite", "--operations", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Generic operation mix" in out
+        assert "SQL round trips" in out
+
+    def test_ops_on_simulated(self, capsys):
+        assert main(["ops", "--preset", "default-small",
+                     "--operations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Generic operation mix" in out
+        assert "SQL round trips" not in out
+
+    def test_multiuser_on_memory(self, capsys):
+        assert main(["multiuser", "--preset", "default-small",
+                     "--backend", "memory", "--clients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 clients on 'memory'" in out
+        assert "merged warm wall-clock" in out
+        assert "P95" in out
+
+    def test_multiuser_rejects_zero_clients(self, capsys):
+        assert main(["multiuser", "--preset", "default-small",
+                     "--clients", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "client" in err.lower()
+
     def test_run_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             main(["run", "--backend", "mongodb"])
