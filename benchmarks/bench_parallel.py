@@ -1,0 +1,107 @@
+"""Throughput-scaling benchmark: worker processes on file-backed SQLite.
+
+The process-parallel companion to ``bench_backends.py`` — one generated
+database, one seed, executed at 1/2/4/8 worker processes against a
+shared WAL SQLite file.  Each point reports aggregate throughput,
+merged warm latency tails and the contention counters; the sweep is
+emitted both as the ASCII scaling table and as a JSON array of
+:class:`~repro.reporting.scaling.ScalingPoint` dicts (the same
+emission-shape convention as the cross-backend harness: every row a
+flat mapping of metric name to value).
+
+Runs as a plain pytest module (no pytest-benchmark required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py -q
+
+Note: speedup depends on the host's CPU count — on a single-core
+runner the curve is flat and that is the honest result; the assertions
+therefore pin correctness (transaction counts, WAL mode, percentile
+coverage), never scaling factors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+try:
+    from conftest import term_print
+except ImportError:
+    # When benchmarks/ and tests/ are collected in one invocation, the
+    # top-level name "conftest" can resolve to tests/conftest.py, which
+    # has no term_print; plain printing is a fine fallback.
+    def term_print(*args, **kwargs):
+        print(*args, **kwargs)
+
+from repro.core.generation import generate_database
+from repro.core.presets import (
+    default_database_parameters,
+    default_workload_parameters,
+)
+from repro.parallel import ParallelConfig, ParallelRunner
+from repro.reporting import render_scaling_sweep, summarize_parallel_run
+
+#: Scaled-down defaults: 2 000 objects; 3 cold + 30 warm txns per worker.
+DB_SCALE = 0.1
+SEED = 19980323  # EDBT '98.
+WORKERS = (1, 2, 4, 8)
+COLD_N = 3
+HOT_N = 30
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    database, _ = generate_database(
+        default_database_parameters(scale=DB_SCALE, seed=SEED))
+    base = default_workload_parameters(scale=0.02)
+    config = ParallelConfig(busy_timeout_ms=5000)
+    points = []
+    for workers in WORKERS:
+        params = replace(base, clients=workers, cold_n=COLD_N, hot_n=HOT_N)
+        report = ParallelRunner(database, "sqlite", params,
+                                config=config).run()
+        points.append((report, summarize_parallel_run(report)))
+    return points
+
+
+def test_scaling_table_and_json(sweep):
+    points = [point for _, point in sweep]
+    term_print(render_scaling_sweep(
+        points, title="Throughput scaling on shared WAL SQLite"))
+    term_print(json.dumps([point.to_dict() for point in points], indent=2))
+    assert len(points) == len(WORKERS)
+
+
+def test_every_point_ran_its_full_workload(sweep):
+    for report, point in sweep:
+        assert point.transactions == point.workers * (COLD_N + HOT_N)
+        assert point.throughput > 0.0
+        assert report.merged_warm.transaction_count == \
+            point.workers * HOT_N
+
+
+def test_shared_wal_storage_at_every_width(sweep):
+    for report, point in sweep:
+        assert point.mode == "shared"
+        for worker in report.workers:
+            assert worker.backend_stats["journal_mode"] == "wal"
+
+
+def test_latency_tails_ordered(sweep):
+    for _, point in sweep:
+        assert 0.0 < point.warm_p50_ms <= point.warm_p95_ms \
+            <= point.warm_p99_ms
+
+
+def test_logical_workload_independent_of_width(sweep):
+    """Worker 0's logical metrics are identical at every sweep width —
+    the per-client RNG substream never sees the other processes."""
+    signatures = []
+    for report, _ in sweep:
+        worker0 = report.workers[0].report
+        totals = worker0.warm.totals
+        signatures.append((totals.count, totals.visits,
+                           totals.distinct_objects))
+    assert len(set(signatures)) == 1, signatures

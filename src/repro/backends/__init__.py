@@ -28,6 +28,7 @@ from repro.backends.registry import (
     KNOWN_CAPABILITIES,
     BackendInfo,
     available_backends,
+    backend_info,
     backend_names,
     create_backend,
     register_backend,
@@ -45,6 +46,7 @@ __all__ = [
     "MemoryBackend",
     "SQLiteBackend",
     "available_backends",
+    "backend_info",
     "backend_names",
     "create_backend",
     "register_backend",
@@ -65,6 +67,10 @@ def _make_sqlite(store_config: StoreConfig, **options: object) -> Backend:
     path = str(options.pop("path", ":memory:"))
     kwargs = {"page_size": store_config.page_size,
               "cache_pages": store_config.buffer_pages}
+    if store_config.journal_mode is not None:
+        kwargs["journal_mode"] = store_config.journal_mode
+    if store_config.busy_timeout_ms is not None:
+        kwargs["busy_timeout_ms"] = store_config.busy_timeout_ms
     kwargs.update(options)  # type: ignore[arg-type]
     return SQLiteBackend(path=path, **kwargs)  # type: ignore[arg-type]
 
@@ -81,7 +87,8 @@ register_backend(
 register_backend(
     "sqlite", _make_sqlite,
     "serialized objects in an indexed SQLite table (wall clock only)",
-    capabilities=("batched-reads", "cold-cache"), overwrite=True)
+    capabilities=("batched-reads", "cold-cache", "concurrent"),
+    overwrite=True)
 
 
 def resolve_backend(backend: "str | Backend | None",

@@ -42,6 +42,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import BackendError
 from repro.store.buffer import BufferStats
 from repro.store.costs import CostModel, SimClock
 from repro.store.disk import DiskStats
@@ -78,6 +79,14 @@ class Backend(abc.ABC):
 
     #: Whether :meth:`write_many` is a single native round trip.
     supports_batched_writes: bool = False
+
+    #: Whether independent connections (one per OS process) can share the
+    #: engine's durable storage.  Engines that set this implement
+    #: :meth:`connect_worker`; the process-parallel subsystem
+    #: (:mod:`repro.parallel`) runs every worker against its own
+    #: connection when the tag is set and falls back to per-worker
+    #: replicas otherwise.
+    supports_concurrent_access: bool = False
 
     def __init__(self) -> None:
         self.object_accesses = 0
@@ -170,6 +179,32 @@ class Backend(abc.ABC):
         The default is a no-op for engines that write through.
         """
         return 0
+
+    def connect_worker(self) -> "Backend":
+        """Open an independent connection to the same stored data.
+
+        The multi-process coordinator calls this once as a *probe*
+        before spawning workers; the workers themselves (being separate
+        processes that cannot receive a live engine) reconnect by
+        resolving the backend name with the same options.  The full
+        ``concurrent`` contract is therefore twofold: this method must
+        return a second live connection, **and** the constructor options
+        must fully describe the shared storage so a reconnect-by-name
+        attaches to it.  In-process callers (contention tests, future
+        threaded harnesses) use this method directly for a second
+        connection with its own caches and locks.
+
+        The safe default refuses: an engine whose state lives in this
+        process's memory (the simulated store, the dict backend,
+        ``:memory:`` SQLite) cannot hand anyone else a view of it.
+        Engines that can share storage set
+        :attr:`supports_concurrent_access` and override this.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not support concurrent "
+            f"connections to shared storage; an engine that shares "
+            f"durable storage must override connect_worker (and only "
+            f"such engines may register the 'concurrent' capability)")
 
     def close(self) -> None:
         """Release any engine resources (connections, files)."""

@@ -27,6 +27,7 @@ __all__ = [
     "register_backend",
     "unregister_backend",
     "available_backends",
+    "backend_info",
     "backend_names",
     "create_backend",
 ]
@@ -42,6 +43,8 @@ KNOWN_CAPABILITIES: Tuple[str, ...] = (
     "clustering",      # physical reorganization (simulated only)
     "batched-reads",   # native read_many (one round trip per frontier)
     "cold-cache",      # drop_caches really evicts engine state
+    "concurrent",      # connect_worker: shared storage, one connection
+                       # per OS process (the parallel subsystem's input)
 )
 
 
@@ -112,6 +115,23 @@ def backend_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def backend_info(name: str) -> BackendInfo:
+    """The registry entry for *name*.
+
+    The one by-name lookup every capability consumer shares (the CLI
+    listing, the parallel coordinator's ``concurrent`` check); unknown
+    names raise :class:`~repro.errors.BackendError` listing the
+    alternatives.
+    """
+    key = name.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+
+
 def create_backend(name: str, store_config: Optional[StoreConfig] = None,
                    **options: object) -> Backend:
     """Instantiate the backend registered as *name*.
@@ -120,11 +140,4 @@ def create_backend(name: str, store_config: Optional[StoreConfig] = None,
     experiment's page size and buffer budget; unknown names raise
     :class:`~repro.errors.BackendError` listing the alternatives.
     """
-    key = name.strip().lower()
-    try:
-        info = _REGISTRY[key]
-    except KeyError:
-        raise BackendError(
-            f"unknown backend {name!r}; registered: {backend_names()}"
-        ) from None
-    return info.create(store_config, **options)
+    return backend_info(name).create(store_config, **options)

@@ -19,8 +19,8 @@ ablations (``--buffer-pages``) carry over unchanged: a run with a
 All measurements are wall-clock — SQLite does its own paging, caching
 and journaling, which is exactly what the benchmark wants to observe.
 
-Two kernel hooks make the engine first-class under the unified
-:class:`~repro.core.session.Session`:
+Three kernel hooks make the engine first-class under the unified
+:class:`~repro.core.session.Session` and the process-parallel harness:
 
 * **batched access** — :meth:`SQLiteBackend.read_many` answers a whole
   BFS frontier (or range-lookup match set) with one ``IN``-clause query
@@ -29,13 +29,24 @@ Two kernel hooks make the engine first-class under the unified
   statements so the saving is measurable;
 * **cold-cache control** — :meth:`SQLiteBackend.drop_caches` closes and
   reopens the connection (re-applying the pragmas) for file databases,
-  and releases the pager cache in place for ``:memory:`` ones.
+  and releases the pager cache in place for ``:memory:`` ones;
+* **concurrent connections** — :meth:`SQLiteBackend.connect_worker`
+  opens an independent connection to the same database file (its own
+  pager cache, its own locks), which is how each process of a
+  :class:`~repro.parallel.runner.ParallelRunner` drives the shared
+  engine.  ``journal_mode`` and ``busy_timeout_ms`` are first-class
+  constructor knobs: multi-writer runs want ``WAL`` plus a busy budget,
+  and every retry a locked database forces is *counted*
+  (``busy_retries`` / ``busy_wait_seconds`` in :meth:`stats`), so
+  contention is a reported metric instead of invisible latency.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple, TypeVar
 
 from repro.backends.base import Backend
 from repro.errors import BackendError, StorageError, UnknownObject
@@ -51,6 +62,17 @@ _VALID_PAGE_SIZES = tuple(512 << i for i in range(8))
 #: IN-clause batch ceiling, below SQLite's default 999-variable limit.
 _MAX_BATCH_VARIABLES = 500
 
+#: Error-message fragments that identify a lock collision (SQLITE_BUSY /
+#: SQLITE_LOCKED) as opposed to a genuine operational failure.
+_BUSY_MARKERS = ("database is locked", "database table is locked",
+                 "database is busy")
+
+#: Backoff ladder for busy retries: start at 1 ms, cap at 50 ms.
+_BUSY_BACKOFF_START = 0.001
+_BUSY_BACKOFF_CAP = 0.05
+
+_T = TypeVar("_T")
+
 
 class SQLiteBackend(Backend):
     """Serialized objects in an indexed SQLite table."""
@@ -58,12 +80,19 @@ class SQLiteBackend(Backend):
     name = "sqlite"
     supports_batched_reads = True
     supports_batched_writes = True
+    supports_concurrent_access = True
+
+    #: Default busy budget: matches the 5 s grace ``sqlite3.connect``'s
+    #: own busy handler used to provide, but spent in Python so every
+    #: collision is counted (see :meth:`_retrying`).
+    DEFAULT_BUSY_TIMEOUT_MS = 5000
 
     def __init__(self, path: str = ":memory:",
                  page_size: int = DEFAULT_PAGE_SIZE,
                  cache_pages: int = 128,
                  synchronous: str = "OFF",
-                 journal_mode: str = "MEMORY") -> None:
+                 journal_mode: str = "MEMORY",
+                 busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS) -> None:
         super().__init__()
         if page_size not in _VALID_PAGE_SIZES:
             raise BackendError(
@@ -71,12 +100,18 @@ class SQLiteBackend(Backend):
                 f"got {page_size}")
         if cache_pages < 1:
             raise BackendError(f"cache_pages must be >= 1, got {cache_pages}")
+        if busy_timeout_ms < 0:
+            raise BackendError(
+                f"busy_timeout_ms must be >= 0, got {busy_timeout_ms}")
         self.path = path
         self.page_size = page_size
         self.cache_pages = cache_pages
         self.synchronous = synchronous
         self.journal_mode = journal_mode
+        self.busy_timeout_ms = busy_timeout_ms
         self.sql_round_trips = 0
+        self.busy_retries = 0
+        self.busy_wait_seconds = 0.0
         self._conn = self._connect()
 
     def _connect(self) -> sqlite3.Connection:
@@ -90,16 +125,80 @@ class SQLiteBackend(Backend):
         cur.execute(f"PRAGMA page_size = {self.page_size}")
         cur.execute(f"PRAGMA cache_size = {self.cache_pages}")
         cur.execute(f"PRAGMA synchronous = {self.synchronous}")
-        cur.execute(f"PRAGMA journal_mode = {self.journal_mode}")
-        cur.execute(
+        # The busy budget is spent in Python (see _retry) so collisions
+        # are counted; SQLite's own handler is disabled.
+        cur.execute("PRAGMA busy_timeout = 0")
+        self._retrying(cur.execute,
+                       f"PRAGMA journal_mode = {self.journal_mode}")
+        self._retrying(
+            cur.execute,
             "CREATE TABLE IF NOT EXISTS objects ("
             " oid  INTEGER PRIMARY KEY,"
             " cid  INTEGER NOT NULL,"
             " data BLOB    NOT NULL)")
-        cur.execute(
+        self._retrying(
+            cur.execute,
             "CREATE INDEX IF NOT EXISTS objects_by_class ON objects (cid)")
         conn.commit()
         return conn
+
+    # -- busy-retry accounting ------------------------------------------ #
+
+    @staticmethod
+    def _is_busy(exc: sqlite3.Error) -> bool:
+        message = str(exc).lower()
+        return any(marker in message for marker in _BUSY_MARKERS)
+
+    def _retrying(self, fn: Callable[..., _T], *args: object) -> _T:
+        """Run *fn*, retrying lock collisions within the busy budget.
+
+        Every collision increments :attr:`busy_retries` and the time
+        spent backing off accrues to :attr:`busy_wait_seconds` — the
+        contention-accounting layer the multi-process harness reports.
+        A budget of zero keeps the single-user behaviour: the first
+        collision raises.
+        """
+        attempt = 0
+        deadline = None
+        while True:
+            try:
+                return fn(*args)
+            except sqlite3.OperationalError as exc:
+                if not self._is_busy(exc):
+                    raise
+                now = time.perf_counter()
+                if deadline is None:
+                    deadline = now + self.busy_timeout_ms / 1000.0
+                if now >= deadline:
+                    raise BackendError(
+                        f"SQLite database {self.path!r} still locked after "
+                        f"{attempt} retries ({self.busy_timeout_ms} ms "
+                        f"budget); raise busy_timeout_ms or reduce writer "
+                        f"concurrency") from exc
+                delay = min(_BUSY_BACKOFF_START * (2 ** min(attempt, 6)),
+                            _BUSY_BACKOFF_CAP, max(deadline - now, 0.0))
+                time.sleep(delay)
+                self.busy_retries += 1
+                self.busy_wait_seconds += time.perf_counter() - now
+                attempt += 1
+
+    def _execute(self, sql: str, params: Sequence[object] = ()
+                 ) -> sqlite3.Cursor:
+        return self._retrying(self._conn.execute, sql, params)
+
+    def _executemany(self, sql: str, seq: Iterable[Sequence[object]]
+                     ) -> sqlite3.Cursor:
+        # A retry must re-run the *whole* batch — a generator would
+        # arrive at the second attempt exhausted (executemany consumes
+        # it before the lock error surfaces).  Batches here are
+        # workload-sized (write_many), so buffering is cheap; the one
+        # database-sized batch, bulk_load, streams under a held write
+        # lock instead of going through this wrapper.
+        rows = seq if isinstance(seq, (list, tuple)) else list(seq)
+        return self._retrying(self._conn.executemany, sql, rows)
+
+    def _commit(self) -> None:
+        self._retrying(self._conn.commit)
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -108,15 +207,24 @@ class SQLiteBackend(Backend):
         if self.object_count:
             raise StorageError("bulk_load requires an empty backend")
         sequence = stage_bulk_load(records, order)
-        self._conn.executemany(
-            "INSERT INTO objects (oid, cid, data) VALUES (?, ?, ?)",
-            ((r.oid, r.cid, encode_object(r)) for r in sequence))
-        self._conn.commit()
+        # Take the write lock first (with counted retries), then stream
+        # the encode generator straight into executemany: no buffering
+        # of the encoded blobs, and no mid-batch SQLITE_BUSY once the
+        # lock is held.
+        self._retrying(self._conn.execute, "BEGIN IMMEDIATE")
+        try:
+            self._conn.executemany(
+                "INSERT INTO objects (oid, cid, data) VALUES (?, ?, ?)",
+                ((r.oid, r.cid, encode_object(r)) for r in sequence))
+        except BaseException:
+            self._conn.rollback()
+            raise
+        self._commit()
         return self._pragma_int("page_count")
 
     def read_object(self, oid: int) -> StoredObject:
         self.sql_round_trips += 1
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT data FROM objects WHERE oid = ?", (oid,)).fetchone()
         if row is None:
             raise UnknownObject(oid)
@@ -132,7 +240,7 @@ class SQLiteBackend(Backend):
             chunk = unique[start:start + _MAX_BATCH_VARIABLES]
             placeholders = ",".join("?" * len(chunk))
             self.sql_round_trips += 1
-            for oid, data in self._conn.execute(
+            for oid, data in self._execute(
                     f"SELECT oid, data FROM objects "
                     f"WHERE oid IN ({placeholders})", chunk):
                 records[oid] = decode_object(data)
@@ -144,7 +252,7 @@ class SQLiteBackend(Backend):
 
     def write_object(self, record: StoredObject) -> None:
         self.sql_round_trips += 1
-        cur = self._conn.execute(
+        cur = self._execute(
             "UPDATE objects SET cid = ?, data = ? WHERE oid = ?",
             (record.cid, encode_object(record), record.oid))
         if cur.rowcount == 0:
@@ -156,7 +264,7 @@ class SQLiteBackend(Backend):
         if not records:
             return
         self.sql_round_trips += 1
-        cur = self._conn.executemany(
+        cur = self._executemany(
             "UPDATE objects SET cid = ?, data = ? WHERE oid = ?",
             ((r.cid, encode_object(r), r.oid) for r in records))
         if cur.rowcount != len(records):
@@ -168,7 +276,7 @@ class SQLiteBackend(Backend):
     def insert_object(self, record: StoredObject) -> None:
         self.sql_round_trips += 1
         try:
-            self._conn.execute(
+            self._execute(
                 "INSERT INTO objects (oid, cid, data) VALUES (?, ?, ?)",
                 (record.oid, record.cid, encode_object(record)))
         except sqlite3.IntegrityError:
@@ -177,7 +285,7 @@ class SQLiteBackend(Backend):
 
     def delete_object(self, oid: int) -> None:
         self.sql_round_trips += 1
-        cur = self._conn.execute("DELETE FROM objects WHERE oid = ?", (oid,))
+        cur = self._execute("DELETE FROM objects WHERE oid = ?", (oid,))
         if cur.rowcount == 0:
             raise UnknownObject(oid)
         self.object_accesses += 1
@@ -190,10 +298,10 @@ class SQLiteBackend(Backend):
         data on close, so the pager cache is released in place
         (``PRAGMA shrink_memory``) and the cache budget re-asserted.
         """
-        self._conn.commit()
+        self._commit()
         if self.path == ":memory:":
-            self._conn.execute("PRAGMA shrink_memory")
-            self._conn.execute(f"PRAGMA cache_size = {self.cache_pages}")
+            self._execute("PRAGMA shrink_memory")
+            self._execute(f"PRAGMA cache_size = {self.cache_pages}")
             return True
         self._conn.close()
         self._conn = self._connect()
@@ -201,57 +309,90 @@ class SQLiteBackend(Backend):
 
     def flush(self) -> int:
         """Commit the open transaction (write-back point for mutations)."""
-        self._conn.commit()
+        self._commit()
         return 0
+
+    def connect_worker(self) -> "SQLiteBackend":
+        """An independent connection to the same database file.
+
+        The new backend shares nothing Python-side with this one — its
+        own ``sqlite3`` connection, pager cache and statistics — so a
+        worker process (or a contention test in-process) sees exactly
+        the isolation and locking a second OS process would.  Only file
+        databases can be shared; ``:memory:`` databases are private to
+        their connection by construction.
+        """
+        if self.path == ":memory:":
+            raise BackendError(
+                "a ':memory:' SQLite database cannot be shared between "
+                "connections; use a file path for concurrent runs")
+        # Publish any buffered writes so the sibling sees current data.
+        self._commit()
+        return SQLiteBackend(path=self.path,
+                             page_size=self.page_size,
+                             cache_pages=self.cache_pages,
+                             synchronous=self.synchronous,
+                             journal_mode=self.journal_mode,
+                             busy_timeout_ms=self.busy_timeout_ms)
 
     def stats(self) -> Dict[str, object]:
         return {
             "path": self.path,
             "page_size": self._pragma_int("page_size"),
             "cache_pages": self.cache_pages,
+            "journal_mode": self._pragma_str("journal_mode"),
+            "busy_timeout_ms": self.busy_timeout_ms,
             "pages": self._pragma_int("page_count"),
             "freelist_pages": self._pragma_int("freelist_count"),
             "objects": self.object_count,
             "object_accesses": self.object_accesses,
             "sql_round_trips": self.sql_round_trips,
+            "busy_retries": self.busy_retries,
+            "busy_wait_seconds": self.busy_wait_seconds,
             "sqlite_version": sqlite3.sqlite_version,
         }
 
     def reset_stats(self) -> None:
         super().reset_stats()
         self.sql_round_trips = 0
+        self.busy_retries = 0
+        self.busy_wait_seconds = 0.0
 
     def close(self) -> None:
-        self._conn.commit()
+        self._commit()
         self._conn.close()
 
     # -- accounting surface --------------------------------------------- #
 
     @property
     def object_count(self) -> int:
-        (count,) = self._conn.execute(
+        (count,) = self._execute(
             "SELECT COUNT(*) FROM objects").fetchone()
         return count
 
     def iter_oids(self) -> Iterator[int]:
-        for (oid,) in self._conn.execute("SELECT oid FROM objects"):
+        for (oid,) in self._execute("SELECT oid FROM objects"):
             yield oid
 
     def current_order(self) -> List[int]:
         """rowid order — for an INTEGER PRIMARY KEY this is oid order."""
-        return [oid for (oid,) in self._conn.execute(
+        return [oid for (oid,) in self._execute(
             "SELECT oid FROM objects ORDER BY rowid")]
 
     def oids_of_class(self, cid: int) -> Tuple[int, ...]:
         """Class-extent lookup through the secondary index."""
-        return tuple(oid for (oid,) in self._conn.execute(
+        return tuple(oid for (oid,) in self._execute(
             "SELECT oid FROM objects WHERE cid = ? ORDER BY oid", (cid,)))
 
     def _pragma_int(self, name: str) -> int:
-        (value,) = self._conn.execute(f"PRAGMA {name}").fetchone()
+        (value,) = self._execute(f"PRAGMA {name}").fetchone()
         return int(value)
 
+    def _pragma_str(self, name: str) -> str:
+        (value,) = self._execute(f"PRAGMA {name}").fetchone()
+        return str(value)
+
     def __contains__(self, oid: int) -> bool:
-        return self._conn.execute(
+        return self._execute(
             "SELECT 1 FROM objects WHERE oid = ?", (oid,)).fetchone() \
             is not None

@@ -8,7 +8,11 @@ Subcommands::
     ocb generate  [--preset P]    generate a database, print statistics
     ocb run       [--preset P]    generate + run the cold/warm protocol
     ocb ops       [--preset P]    run the generic operation mix
-    ocb multiuser [--preset P]    interleave CLIENTN clients
+    ocb multiuser [--preset P]    run CLIENTN clients (in-process, or
+                                  --processes N for real OS processes
+                                  against shared WAL storage)
+    ocb scale     [--workers ...] worker-count sweep: throughput scaling
+                                  + contention table
     ocb tables --id {1,2,3}       print the paper's parameter tables
     ocb fig4                      reproduce Figure 4 (creation time)
     ocb table4                    reproduce Table 4 (DSTC-CluB vs OCB)
@@ -117,8 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: in-memory)")
 
     multiuser = sub.add_parser(
-        "multiuser", help="interleave CLIENTN clients round-robin against "
-                          "one shared engine")
+        "multiuser", help="run CLIENTN clients against one shared engine "
+                          "(round-robin in-process, or --processes for "
+                          "real OS processes)")
     multiuser.add_argument("--preset", default="default-small",
                            choices=sorted(PRESETS))
     multiuser.add_argument("--clients", type=int, default=4)
@@ -128,7 +133,45 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: simulated)")
     multiuser.add_argument("--sqlite-path", default=":memory:",
                            help="database file for --backend sqlite "
-                                "(default: in-memory)")
+                                "(default: in-memory; process runs "
+                                "replace ':memory:' with a temp file)")
+    multiuser.add_argument("--processes", type=int, default=None,
+                           metavar="N",
+                           help="run N clients as real OS processes "
+                                "against shared storage instead of "
+                                "interleaving them in-process "
+                                "(overrides --clients)")
+    multiuser.add_argument("--journal-mode", default="WAL",
+                           help="journal mode for shared SQLite files "
+                                "(default: WAL)")
+    multiuser.add_argument("--busy-timeout", type=int, default=5000,
+                           metavar="MS",
+                           help="per-connection busy budget in ms for "
+                                "shared storage (default: 5000)")
+
+    scale = sub.add_parser(
+        "scale", help="sweep worker-process counts and print the "
+                      "throughput-scaling table")
+    scale.add_argument("--preset", default="default-small",
+                       choices=sorted(PRESETS))
+    scale.add_argument("--backend", default="sqlite",
+                       choices=backend_names(),
+                       help="storage engine to drive (default: sqlite)")
+    scale.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                       help="worker counts to sweep (default: 1 2 4)")
+    scale.add_argument("--sqlite-path", default=":memory:",
+                       help="database file for --backend sqlite "
+                            "(default: one shared temp file loaded once "
+                            "and reused across the whole sweep)")
+    scale.add_argument("--journal-mode", default="WAL",
+                       help="journal mode for shared SQLite files "
+                            "(default: WAL)")
+    scale.add_argument("--busy-timeout", type=int, default=5000,
+                       metavar="MS",
+                       help="per-connection busy budget in ms "
+                            "(default: 5000)")
+    scale.add_argument("--json", action="store_true",
+                       help="also emit the sweep as a JSON array")
 
     tables = sub.add_parser("tables", help="print the paper's parameter tables")
     tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
@@ -210,6 +253,8 @@ def _cmd_generate(args: argparse.Namespace) -> str:
         backend = create_backend(args.backend, StoreConfig(),
                                  **_backend_options(args))
         try:
+            # Serialize outside the timer: the "bulk load" line measures
+            # the engine's insert path, not Python record construction.
             records = database.to_records()
             start = time.perf_counter()
             units = backend.bulk_load(records.values(),
@@ -291,16 +336,37 @@ def _cmd_ops(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parallel_options(args: argparse.Namespace) -> dict:
+    """Backend options for a process run; ':memory:' cannot be shared,
+    so it is dropped and the runner creates a temp file instead."""
+    options = _backend_options(args)
+    if options.get("path") == ":memory:":
+        options.pop("path")
+    return options
+
+
 def _cmd_multiuser(args: argparse.Namespace) -> str:
     from dataclasses import replace
 
     from repro.multiuser.runner import MultiClientRunner
 
     db_params, wl_params = preset(args.preset)
+    if args.processes is not None:
+        wl_params = replace(wl_params, clients=args.processes)
+        database, _report = generate_database(db_params)
+        return _run_multiuser_processes(args, database, wl_params)
     wl_params = replace(wl_params, clients=args.clients)
     database, _report = generate_database(db_params)
+    options = _backend_options(args)
+    if args.backend == "sqlite":
+        # The journal/busy/synchronous knobs apply on the in-process
+        # path too, so the two execution modes benchmark the same
+        # engine settings (NORMAL matches ParallelConfig.synchronous).
+        options.setdefault("journal_mode", args.journal_mode)
+        options.setdefault("busy_timeout_ms", args.busy_timeout)
+        options.setdefault("synchronous", "NORMAL")
     runner = MultiClientRunner(database, args.backend, wl_params,
-                               backend_options=_backend_options(args))
+                               backend_options=options)
     report = runner.run()
     rows = []
     for client, client_report in enumerate(report.clients):
@@ -322,6 +388,69 @@ def _cmd_multiuser(args: argparse.Namespace) -> str:
     return "\n".join([
         table, "",
         f"merged warm wall-clock: {merged_wall.describe()}"])
+
+
+def _run_multiuser_processes(args: argparse.Namespace, database,
+                             wl_params) -> str:
+    from repro.parallel import ParallelConfig, ParallelRunner
+    from repro.reporting import render_parallel_workers
+
+    config = ParallelConfig(journal_mode=args.journal_mode,
+                            busy_timeout_ms=args.busy_timeout)
+    runner = ParallelRunner(database, args.backend, wl_params,
+                            config=config,
+                            backend_options=_parallel_options(args))
+    report = runner.run()
+    merged_wall = report.warm_wall_percentiles
+    lines = [render_parallel_workers(report), "",
+             report.describe(),
+             f"merged warm wall-clock: {merged_wall.describe()}"]
+    if not report.executed_parallel and wl_params.clients > 1:
+        lines.append("note: worker processes were unavailable; the "
+                     "workers ran sequentially in-process")
+    return "\n".join(lines)
+
+
+def _cmd_scale(args: argparse.Namespace) -> str:
+    import json
+    import os
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.backends.registry import backend_info
+    from repro.parallel import ParallelConfig, ParallelRunner
+    from repro.reporting import render_scaling_sweep, summarize_parallel_run
+
+    db_params, wl_params = preset(args.preset)
+    database, _report = generate_database(db_params)
+    config = ParallelConfig(journal_mode=args.journal_mode,
+                            busy_timeout_ms=args.busy_timeout)
+    options = _parallel_options(args)
+    tempdir = None
+    if backend_info(args.backend).has_capability("concurrent") \
+            and not options.get("path"):
+        # One shared file for the whole sweep: the first point bulk
+        # loads it, every later point attaches (after a content check)
+        # instead of re-loading the identical read-only database.
+        tempdir = tempfile.mkdtemp(prefix="ocb-scale-")
+        options["path"] = os.path.join(tempdir, "shared.db")
+    points = []
+    try:
+        for workers in args.workers:
+            params = replace(wl_params, clients=workers)
+            runner = ParallelRunner(database, args.backend, params,
+                                    config=config, backend_options=options)
+            points.append(summarize_parallel_run(runner.run()))
+    finally:
+        if tempdir is not None:
+            shutil.rmtree(tempdir, ignore_errors=True)
+    out = [render_scaling_sweep(points)]
+    if args.json:
+        out.append("")
+        out.append(json.dumps([point.to_dict() for point in points],
+                              indent=2))
+    return "\n".join(out)
 
 
 def _cmd_tables(args: argparse.Namespace) -> str:
@@ -418,6 +547,8 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         print(_cmd_ops(args))
     elif args.command == "multiuser":
         print(_cmd_multiuser(args))
+    elif args.command == "scale":
+        print(_cmd_scale(args))
     elif args.command == "tables":
         print(_cmd_tables(args))
     elif args.command == "fig4":

@@ -165,22 +165,38 @@ class OCBDatabase:
     # Store integration
     # ------------------------------------------------------------------ #
 
-    def to_records(self) -> Dict[int, StoredObject]:
-        """Serialize the graph to store records.
+    def to_record(self, oid: int) -> StoredObject:
+        """Serialize one object to its store record.
 
         ``filler`` is the class's ``InstanceSize``, so physical object
         sizes vary with the inheritance graph exactly as in the paper.
+        The single source of record construction — bulk loads and
+        content verifiers (the parallel coordinator's spot check of
+        pre-existing shared storage) must agree byte for byte.
         """
-        records: Dict[int, StoredObject] = {}
-        for obj in self.objects.values():
-            instance_size = self.schema.get(obj.cid).instance_size
-            records[obj.oid] = StoredObject(
-                oid=obj.oid,
-                cid=obj.cid,
-                refs=tuple(obj.oref),
-                back_refs=tuple(obj.back_refs),
-                filler=instance_size)
-        return records
+        obj = self.get(oid)
+        return StoredObject(
+            oid=obj.oid,
+            cid=obj.cid,
+            refs=tuple(obj.oref),
+            back_refs=tuple(obj.back_refs),
+            filler=self.schema.get(obj.cid).instance_size)
+
+    def to_records(self) -> Dict[int, StoredObject]:
+        """Serialize the whole graph to store records (see :meth:`to_record`)."""
+        return {oid: self.to_record(oid) for oid in self.objects}
+
+    def load_into(self, store: object) -> int:
+        """Bulk-load this database into *store* in oid order.
+
+        The one loading idiom every coordinator uses (the kernel's
+        ``Session.for_database``, the CLI's ``generate --backend``, the
+        parallel coordinator), so load order and record construction
+        can never drift between them.  Returns the storage units the
+        engine reports.
+        """
+        records = self.to_records()
+        return store.bulk_load(records.values(), order=sorted(records))  # type: ignore[attr-defined]
 
     def record_sizes(self) -> Dict[int, int]:
         """oid -> on-disk byte size (placement context input)."""

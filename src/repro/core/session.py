@@ -123,7 +123,8 @@ class Session:
                      store_config: Optional[StoreConfig] = None,
                      policy: Optional[ClusteringPolicy] = None,
                      batch: Optional[bool] = None,
-                     backend_options: Optional[dict] = None) -> "Session":
+                     backend_options: Optional[dict] = None,
+                     load: bool = True) -> "Session":
         """Build a Session over *store* for a generated *database*.
 
         *store* may be a loaded :class:`ObjectStore`/:class:`Backend`
@@ -133,14 +134,23 @@ class Session:
         database in oid order and their counters reset, so
         ``Session.for_database(db, "sqlite")`` is everything a caller
         needs to run any workload on SQLite.
+
+        ``load=False`` *attaches* instead: the engine must already hold
+        the data (a worker process connecting to storage its parent bulk
+        loaded).  An empty engine then raises immediately rather than
+        letting N workers race to load the same shared file.
         """
         from repro.backends import resolve_backend  # Late: avoids a cycle.
         if store is None or isinstance(store, str):
             store = resolve_backend(store, store_config,
                                     **(backend_options or {}))
         if store.object_count == 0:
-            records = database.to_records()
-            store.bulk_load(records.values(), order=sorted(records))
+            if not load:
+                raise WorkloadError(
+                    "Session.for_database(load=False) attaches to "
+                    "pre-loaded storage, but the engine is empty; the "
+                    "coordinating process must bulk-load it first")
+            database.load_into(store)
             store.reset_stats()
         return cls(store, policy=policy,
                    tref_table=database.tref_table(),

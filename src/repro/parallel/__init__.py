@@ -1,0 +1,42 @@
+"""Process-parallel execution: real multi-user contention on shared engines.
+
+The in-process :class:`~repro.multiuser.runner.MultiClientRunner`
+interleaves CLIENTN clients round-robin — cache pollution is real, but
+lock contention and parallel wall-clock are not.  This subsystem runs
+the same CLIENTN clients as real OS processes:
+
+* :class:`~repro.parallel.spec.WorkerSpec` /
+  :class:`~repro.parallel.spec.ParallelConfig` — the picklable job
+  descriptions that cross the process boundary;
+* :func:`~repro.parallel.worker.run_worker` — the worker entry point:
+  own connection (shared mode) or own replica (replicated mode), one
+  cold/warm protocol, per-client Lewis–Payne substream;
+* :class:`~repro.parallel.pool.ProcessPool` — ordered fan-out with an
+  honest sequential fallback;
+* :class:`~repro.parallel.runner.ParallelRunner` — the coordinator:
+  bulk-load once, spawn CLIENTN workers, merge;
+* :class:`~repro.parallel.report.ParallelReport` — folds into the
+  :class:`~repro.multiuser.runner.MultiUserReport` shape and adds
+  throughput + contention accounting.
+
+The determinism contract: a parallel run's per-client *logical* metrics
+(transaction mix, objects visited) are identical to the in-process
+runner's on the same seed — the RNG substreams are keyed by client id,
+never by process scheduling.
+"""
+
+from repro.parallel.pool import ProcessPool
+from repro.parallel.report import ParallelReport
+from repro.parallel.runner import ParallelRunner
+from repro.parallel.spec import ParallelConfig, WorkerResult, WorkerSpec
+from repro.parallel.worker import run_worker
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelReport",
+    "ParallelRunner",
+    "ProcessPool",
+    "WorkerResult",
+    "WorkerSpec",
+    "run_worker",
+]

@@ -1,0 +1,199 @@
+"""The process-parallel coordinator: CLIENTN clients, CLIENTN processes.
+
+OCB's original implementation "also supports multiple users, in a very
+simple way (using processes)".  :class:`ParallelRunner` is that
+capability rebuilt on the backends subsystem: it bulk-loads one shared
+engine, hands every client a :class:`~repro.parallel.spec.WorkerSpec`,
+and lets a :class:`~repro.parallel.pool.ProcessPool` run them as real OS
+processes — real file locks, real busy retries, real parallel
+wall-clock — then folds the results into a
+:class:`~repro.parallel.report.ParallelReport`.
+
+Two execution modes, chosen per backend:
+
+* **shared** — the backend declares the ``concurrent`` capability
+  (SQLite on a file).  The coordinator creates the file (WAL journal,
+  busy-timeout budget from the :class:`ParallelConfig`), bulk-loads the
+  database, closes its own connection, and every worker opens an
+  independent connection to the same file;
+* **replicated** — the engine's state lives in process memory
+  (simulated, memory, ``:memory:`` SQLite).  Every worker bulk-loads a
+  private replica; the logical metrics are still exactly those of the
+  in-process :class:`~repro.multiuser.runner.MultiClientRunner`, which
+  is the determinism bridge the test-suite pins.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, Optional
+
+from repro.backends import create_backend
+from repro.backends.registry import backend_info
+from repro.core.database import OCBDatabase
+from repro.core.parameters import WorkloadParameters
+from repro.errors import BackendError, WorkloadError
+from repro.parallel.pool import ProcessPool
+from repro.parallel.report import ParallelReport
+from repro.parallel.spec import ParallelConfig, WorkerSpec
+from repro.parallel.worker import run_worker
+from repro.store.storage import StoreConfig
+
+__all__ = ["ParallelRunner"]
+
+
+def _backend_capabilities(name: str) -> tuple:
+    try:
+        return backend_info(name).capabilities
+    except BackendError as exc:
+        raise WorkloadError(str(exc)) from exc
+
+
+class ParallelRunner:
+    """Run ``parameters.clients`` OCB clients as concurrent OS processes.
+
+    ``backend`` must be a registered backend *name* — the workers
+    resolve it through the registry on their side of the process
+    boundary, so a live engine instance (unpicklable connections and
+    all) never has to cross it.
+    """
+
+    def __init__(self, database: OCBDatabase,
+                 backend: str,
+                 parameters: WorkloadParameters,
+                 config: Optional[ParallelConfig] = None,
+                 store_config: Optional[StoreConfig] = None,
+                 backend_options: Optional[Dict[str, object]] = None,
+                 batch: Optional[bool] = None) -> None:
+        if not isinstance(backend, str):
+            raise WorkloadError(
+                "ParallelRunner needs a registered backend name; live "
+                "engine instances cannot cross a process boundary")
+        if parameters.clients < 1:
+            raise WorkloadError(f"need >= 1 client, got {parameters.clients}")
+        self.database = database
+        self.backend = backend.strip().lower()
+        self.parameters = parameters
+        self.config = config or ParallelConfig()
+        self.store_config = store_config
+        self.backend_options = dict(backend_options or {})
+        self.batch = batch
+        path = self.backend_options.get("path")
+        self.shared = ("concurrent" in _backend_capabilities(self.backend)
+                       and path != ":memory:")
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ParallelReport:
+        """Load, spawn, execute, merge."""
+        tempdir: Optional[str] = None
+        options = dict(self.backend_options)
+        try:
+            if self.shared:
+                if not options.get("path"):
+                    tempdir = tempfile.mkdtemp(prefix="ocb-parallel-")
+                    options["path"] = os.path.join(tempdir, "shared.db")
+                options.setdefault("journal_mode", self.config.journal_mode)
+                options.setdefault("busy_timeout_ms",
+                                   self.config.busy_timeout_ms)
+                options.setdefault("synchronous", self.config.synchronous)
+                self._load_shared(options)
+            specs = [WorkerSpec(client_id=client,
+                                database=self.database,
+                                parameters=self.parameters,
+                                backend=self.backend,
+                                backend_options=options,
+                                store_config=self.store_config,
+                                shared=self.shared,
+                                batch=self.batch)
+                     for client in range(self.parameters.clients)]
+            pool = ProcessPool(
+                processes=self.config.max_workers or len(specs),
+                start_method=self.config.start_method,
+                parallel=self.config.parallel)
+            started = time.perf_counter()
+            results = pool.map(run_worker, specs)
+            elapsed = time.perf_counter() - started
+        finally:
+            if tempdir is not None:
+                shutil.rmtree(tempdir, ignore_errors=True)
+        results.sort(key=lambda result: result.client_id)
+        return ParallelReport(
+            workers=results,
+            backend_name=self.backend,
+            mode="shared" if self.shared else "replicated",
+            elapsed_seconds=elapsed,
+            executed_parallel=pool.executed_parallel)
+
+    def _load_shared(self, options: Dict[str, object]) -> None:
+        """Bulk-load the shared storage, validate the contract, disconnect.
+
+        The coordinator's connection is closed before any worker spawns
+        so the workers' locks contend only with each other, never with a
+        parent connection forked into their address space.  Before that,
+        the :meth:`~repro.backends.base.Backend.connect_worker` contract
+        is exercised once — if a backend registers the ``concurrent``
+        capability without actually supporting independent connections,
+        the run fails here, loudly, instead of spawning workers against
+        storage they cannot attach to.
+        """
+        engine = create_backend(self.backend, self.store_config, **options)
+        try:
+            if not getattr(engine, "supports_concurrent_access", False):
+                raise WorkloadError(
+                    f"backend {self.backend!r} is registered with the "
+                    f"'concurrent' capability but the engine does not "
+                    f"declare supports_concurrent_access; fix the "
+                    f"registration or implement connect_worker")
+            if engine.object_count == 0:
+                self.database.load_into(engine)
+            elif engine.object_count != self.database.num_objects:
+                raise WorkloadError(
+                    f"shared storage at {options.get('path')!r} holds "
+                    f"{engine.object_count} objects but the database has "
+                    f"{self.database.num_objects}; refusing to run "
+                    f"against mismatched data")
+            else:
+                self._verify_shared_content(engine, options)
+            engine.flush()
+            # One probe connection proves workers will be able to attach.
+            probe = engine.connect_worker()
+            probe.close()
+        finally:
+            engine.close()
+
+    #: Records spot-checked when attaching to pre-existing storage.
+    _CONTENT_SAMPLE = 16
+
+    def _verify_shared_content(self, engine, options: Dict[str, object]
+                               ) -> None:
+        """Spot-check pre-existing storage against the database.
+
+        A count match alone would accept a file loaded from a different
+        seed with the same NO — workers would then traverse one graph
+        while reading another's records.  Comparing a deterministic
+        sample of stored records (cid, references, filler) against the
+        in-memory graph catches that without re-serializing the whole
+        database.
+        """
+        from repro.errors import UnknownObject
+
+        oids = sorted(self.database.objects)
+        step = max(1, len(oids) // self._CONTENT_SAMPLE)
+        for oid in oids[::step][:self._CONTENT_SAMPLE]:
+            expected = self.database.to_record(oid)
+            try:
+                stored = engine.read_object(oid)
+            except UnknownObject:
+                stored = None
+            if stored != expected:
+                raise WorkloadError(
+                    f"shared storage at {options.get('path')!r} holds a "
+                    f"different database (object {oid} differs); it is "
+                    f"stale — delete the file or pass the database it "
+                    f"was loaded from")

@@ -1,0 +1,113 @@
+"""Serializable work descriptions for the process-parallel harness.
+
+Everything a worker process needs crosses the process boundary as one
+picklable :class:`WorkerSpec`: the generated database (the object graph
+is immutable under the traversal workload, so every worker can carry the
+same copy), the workload parameters whose per-client Lewis–Payne
+substream the worker derives from its ``client_id`` — exactly as the
+in-process :class:`~repro.multiuser.runner.MultiClientRunner` does, which
+is what makes the two execution modes logically identical — and the
+backend name + options the worker resolves through the registry on its
+side of the fork.
+
+:class:`ParallelConfig` collects the harness-level knobs (journal mode,
+busy budget, start method); :class:`WorkerResult` carries one worker's
+metrics back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.database import OCBDatabase
+from repro.core.parameters import WorkloadParameters
+from repro.core.workload import WorkloadReport
+from repro.errors import ParameterError
+from repro.store.storage import StoreConfig
+
+__all__ = ["ParallelConfig", "WorkerSpec", "WorkerResult"]
+
+_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Harness-level knobs of a process-parallel run."""
+
+    #: Journal mode forced onto shared-file engines.  Multi-process SQLite
+    #: needs ``WAL`` (readers never block, writers queue); anything else
+    #: is accepted but will serialize aggressively.
+    journal_mode: str = "WAL"
+    #: Per-connection budget (ms) for retrying locked operations; every
+    #: retry is counted by the engine's contention accounting.
+    busy_timeout_ms: int = 5000
+    #: ``multiprocessing`` start method (``None`` = platform default).
+    start_method: Optional[str] = None
+    #: Cap on simultaneously live worker processes (``None`` = one per
+    #: client, which is the point of a contention benchmark).
+    max_workers: Optional[int] = None
+    #: ``False`` runs the workers sequentially in this process — same
+    #: specs, same results, no parallel wall-clock; the determinism
+    #: escape hatch and the fallback when the OS refuses to fork.
+    parallel: bool = True
+    #: ``synchronous`` pragma for shared SQLite files.  ``NORMAL`` is the
+    #: honest WAL setting; the single-user default of ``OFF`` would let
+    #: one worker's crash corrupt every other worker's database.
+    synchronous: str = "NORMAL"
+
+    def __post_init__(self) -> None:
+        if self.busy_timeout_ms < 0:
+            raise ParameterError(
+                f"busy_timeout_ms must be >= 0, got {self.busy_timeout_ms}")
+        if self.start_method not in _START_METHODS:
+            raise ParameterError(
+                f"start_method must be one of {_START_METHODS}, "
+                f"got {self.start_method!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ParameterError(
+                f"max_workers must be >= 1, got {self.max_workers}")
+
+
+@dataclass
+class WorkerSpec:
+    """One worker's complete, picklable job description."""
+
+    client_id: int
+    database: OCBDatabase
+    parameters: WorkloadParameters
+    backend: str
+    backend_options: Dict[str, object] = field(default_factory=dict)
+    store_config: Optional[StoreConfig] = None
+    #: ``True``: attach to storage the coordinator already bulk-loaded
+    #: (shared-engine mode); ``False``: build and load a private replica
+    #: (engines without the ``concurrent`` capability).
+    shared: bool = False
+    batch: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0:
+            raise ParameterError(
+                f"client_id must be >= 0, got {self.client_id}")
+
+
+@dataclass
+class WorkerResult:
+    """One worker's report, timing and contention counters."""
+
+    client_id: int
+    pid: int
+    report: WorkloadReport
+    #: Wall-clock of the cold+warm protocol itself.
+    wall_seconds: float
+    #: Wall-clock of connecting/loading before the protocol started.
+    setup_seconds: float
+    busy_retries: int = 0
+    busy_wait_seconds: float = 0.0
+    backend_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def transactions(self) -> int:
+        """Transactions this worker executed (cold + warm)."""
+        return (self.report.cold.transaction_count
+                + self.report.warm.transaction_count)

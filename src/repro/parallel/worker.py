@@ -1,0 +1,62 @@
+"""The worker-process entry point: one OCB client, one connection.
+
+:func:`run_worker` is deliberately a module-level function of one
+picklable argument so every ``multiprocessing`` start method (fork,
+spawn, forkserver) can ship it to a child process.  The worker rebuilds
+its whole execution stack on its side of the boundary:
+
+* **shared mode** — resolve the backend name through the registry with
+  the coordinator's options (the file path, journal mode and busy
+  budget), which opens this process's *own* connection to the shared
+  storage; attach without loading (``Session.for_database(load=False)``).
+* **replicated mode** — build a private engine and bulk-load the
+  database into it (simulated / memory engines, whose state cannot be
+  shared across processes).
+
+Either way the client's transaction stream is drawn from the same
+Lewis–Payne substream (``client_id``-keyed) the in-process
+:class:`~repro.multiuser.runner.MultiClientRunner` would use, so the
+logical metrics are identical by construction — only the wall clock and
+the contention counters change.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.session import Session
+from repro.core.workload import WorkloadRunner
+from repro.parallel.spec import WorkerSpec, WorkerResult
+
+__all__ = ["run_worker"]
+
+
+def run_worker(spec: WorkerSpec) -> WorkerResult:
+    """Execute one client's cold/warm protocol; return its metrics."""
+    setup_start = time.perf_counter()
+    session = Session.for_database(
+        spec.database, spec.backend,
+        store_config=spec.store_config,
+        backend_options=dict(spec.backend_options),
+        batch=spec.batch,
+        load=not spec.shared)
+    runner = WorkloadRunner(spec.database, session, spec.parameters,
+                            client_id=spec.client_id)
+    setup_seconds = time.perf_counter() - setup_start
+
+    run_start = time.perf_counter()
+    report = runner.run()
+    wall_seconds = time.perf_counter() - run_start
+
+    stats = session.store.stats()
+    session.close()
+    return WorkerResult(
+        client_id=spec.client_id,
+        pid=os.getpid(),
+        report=report,
+        wall_seconds=wall_seconds,
+        setup_seconds=setup_seconds,
+        busy_retries=int(stats.get("busy_retries", 0) or 0),
+        busy_wait_seconds=float(stats.get("busy_wait_seconds", 0.0) or 0.0),
+        backend_stats=stats)

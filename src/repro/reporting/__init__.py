@@ -6,6 +6,12 @@ from repro.reporting.comparison import (
     summarize_backend_run,
 )
 from repro.reporting.csvout import rows_to_csv, write_csv
+from repro.reporting.scaling import (
+    ScalingPoint,
+    render_parallel_workers,
+    render_scaling_sweep,
+    summarize_parallel_run,
+)
 from repro.reporting.figures import (
     Series,
     render_line_chart,
@@ -25,4 +31,8 @@ __all__ = [
     "BackendRunSummary",
     "summarize_backend_run",
     "render_backend_comparison",
+    "ScalingPoint",
+    "summarize_parallel_run",
+    "render_scaling_sweep",
+    "render_parallel_workers",
 ]
