@@ -159,6 +159,29 @@ class Backend(abc.ABC):
         """
         return self.read_object(oid).non_null_refs()
 
+    #: Whether :meth:`traverse_refs_many` is answered by a native
+    #: link-structure query (no record decode) rather than the loop
+    #: fallback.  SQLite sets it when constructed with ``ref_index=True``.
+    supports_ref_index: bool = False
+
+    def traverse_refs_many(self, oids: Sequence[int]
+                           ) -> Dict[int, Tuple[int, ...]]:
+        """Non-NIL forward references of a whole batch, keyed by oid.
+
+        The structure-only answer to "where does this BFS frontier go
+        next": engines with a link index resolve the entire batch in one
+        set-oriented query without decoding a single record blob (and
+        set :attr:`supports_ref_index`); the fallback loops over
+        :meth:`traverse_refs` in first-occurrence order.  Duplicate oids
+        are answered once; any missing oid raises
+        :class:`~repro.errors.UnknownObject`, exactly like the loop.
+        """
+        refs: Dict[int, Tuple[int, ...]] = {}
+        for oid in oids:
+            if oid not in refs:
+                refs[oid] = self.traverse_refs(oid)
+        return refs
+
     @abc.abstractmethod
     def stats(self) -> Dict[str, object]:
         """Engine-specific statistics (configuration, sizes, counters)."""

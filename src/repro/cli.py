@@ -8,6 +8,10 @@ Subcommands::
     ocb generate  [--preset P]    generate a database, print statistics
     ocb run       [--preset P]    generate + run the cold/warm protocol
     ocb ops       [--preset P]    run the generic operation mix
+    ocb scenario  NAME|SPEC.json  run a declarative WorkloadMix scenario
+                                  (presets: ocb scenario --list;
+                                  --processes N for real OS processes —
+                                  mutating mixes genuinely contend)
     ocb multiuser [--preset P]    run CLIENTN clients (in-process, or
                                   --processes N for real OS processes
                                   against shared WAL storage)
@@ -26,6 +30,10 @@ costs, and ``run --cold-start`` drops the engine's caches first so the
 cold phase is honest on engines that can evict state.  All experiment
 commands accept ``--scale``-style size flags so the full paper-scale
 runs (slow in pure Python) remain one flag away.
+
+``run``, ``ops`` and ``scenario`` accept ``--json`` to emit a single
+machine-readable JSON document instead of the tables (flat metric
+mappings, the same emission convention as ``ocb scale --json``).
 """
 
 from __future__ import annotations
@@ -106,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="drop the engine's caches before the cold run "
                           "(honest cold measurements on engines that "
                           "support cache eviction)")
+    run.add_argument("--json", action="store_true",
+                     help="emit one machine-readable JSON document "
+                          "instead of the tables")
 
     ops = sub.add_parser("ops", help="run the generic operation mix "
                                      "(insert/update/delete/range/scan)")
@@ -119,6 +130,55 @@ def build_parser() -> argparse.ArgumentParser:
     ops.add_argument("--sqlite-path", default=":memory:",
                      help="database file for --backend sqlite "
                           "(default: in-memory)")
+    ops.add_argument("--json", action="store_true",
+                     help="emit one machine-readable JSON document "
+                          "instead of the tables")
+
+    scenario = sub.add_parser(
+        "scenario", help="run a declarative WorkloadMix scenario "
+                         "(a named preset or a JSON spec file)")
+    scenario.add_argument("name", nargs="?", default=None,
+                          metavar="NAME|SPEC.json",
+                          help="scenario preset name (see --list) or a "
+                               "path to a JSON spec file")
+    scenario.add_argument("--list", action="store_true",
+                          help="list the scenario presets and exit")
+    scenario.add_argument("--preset", default="default-small",
+                          choices=sorted(PRESETS),
+                          help="database preset generating the object "
+                               "graph (default: default-small)")
+    scenario.add_argument("--backend", default=None,
+                          choices=backend_names(),
+                          help="override the scenario's storage engine")
+    scenario.add_argument("--clients", type=int, default=None,
+                          help="override the scenario's client count "
+                               "(in-process round-robin)")
+    scenario.add_argument("--processes", type=int, default=None,
+                          metavar="N",
+                          help="run N clients as real OS processes "
+                               "against shared storage (mutating mixes "
+                               "genuinely contend; overrides --clients)")
+    scenario.add_argument("--cold", type=int, default=None, metavar="N",
+                          help="override the scenario's cold-phase size")
+    scenario.add_argument("--warm", type=int, default=None, metavar="N",
+                          help="override the scenario's warm-phase size")
+    scenario.add_argument("--seed", type=int, default=None,
+                          help="workload RNG seed (default: the "
+                               "database seed)")
+    scenario.add_argument("--sqlite-path", default=":memory:",
+                          help="database file for --backend sqlite "
+                               "(default: in-memory; process runs "
+                               "replace ':memory:' with a temp file)")
+    scenario.add_argument("--journal-mode", default="WAL",
+                          help="journal mode for shared SQLite files "
+                               "(default: WAL)")
+    scenario.add_argument("--busy-timeout", type=int, default=5000,
+                          metavar="MS",
+                          help="per-connection busy budget in ms for "
+                               "shared storage (default: 5000)")
+    scenario.add_argument("--json", action="store_true",
+                          help="emit one machine-readable JSON document "
+                               "instead of the tables")
 
     multiuser = sub.add_parser(
         "multiuser", help="run CLIENTN clients against one shared engine "
@@ -290,6 +350,27 @@ def _cmd_run(args: argparse.Namespace) -> str:
     result = bench.run(cold_start=args.cold_start)
     warm = result.report.warm
     wall = warm.wall_percentiles()
+    if args.json:
+        import json
+        document = {
+            "command": "run",
+            "preset": args.preset,
+            "backend": result.backend_name,
+            "warm_transactions": warm.totals.count,
+            "objects_per_txn": warm.totals.visits_per_transaction,
+            "reads_per_txn": warm.totals.reads_per_transaction,
+            "ios_per_txn": warm.totals.ios_per_transaction,
+            "sim_time_per_txn": warm.totals.sim_time_per_transaction,
+            "wall_p50_ms": wall.p50 * 1e3,
+            "wall_p95_ms": wall.p95 * 1e3,
+            "wall_p99_ms": wall.p99 * 1e3,
+            "per_kind": [
+                {"kind": kind, "n": count, "objects_per_txn": visits,
+                 "reads_per_txn": reads, "ios_per_txn": ios,
+                 "sim_time_per_txn": sim}
+                for kind, count, visits, reads, ios, sim in warm.rows()],
+        }
+        return json.dumps(document, indent=2)
     lines = [result.describe(), "",
              render_table(
                  ["kind", "n", "objects/txn", "reads/txn", "IOs/txn",
@@ -323,6 +404,23 @@ def _cmd_ops(args: argparse.Namespace) -> str:
                      sum(r.io_reads for r in bucket) / n,
                      sum(r.io_writes for r in bucket) / n,
                      sum(r.wall_time for r in bucket) / n * 1e3])
+    if args.json:
+        import json
+        stats = bench.backend.stats() if bench.backend is not None else {}
+        document = {
+            "command": "ops",
+            "preset": args.preset,
+            "backend": args.backend,
+            "operations": len(results),
+            "sql_round_trips": stats.get("sql_round_trips"),
+            "per_operation": [
+                {"operation": operation, "n": n, "objects_per_op": objects,
+                 "reads_per_op": reads, "writes_per_op": writes,
+                 "wall_ms_per_op": wall_ms}
+                for operation, n, objects, reads, writes, wall_ms in rows],
+        }
+        bench.backend.close()
+        return json.dumps(document, indent=2)
     table = render_table(
         ["operation", "n", "objects/op", "reads/op", "writes/op",
          "wall/op (ms)"],
@@ -336,12 +434,120 @@ def _cmd_ops(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _parallel_options(args: argparse.Namespace) -> dict:
-    """Backend options for a process run; ':memory:' cannot be shared,
-    so it is dropped and the runner creates a temp file instead."""
-    options = _backend_options(args)
-    if options.get("path") == ":memory:":
+def _cmd_scenario(args: argparse.Namespace) -> str:
+    import json
+    import os
+    from dataclasses import replace
+
+    from repro.core.presets import SCENARIO_PRESETS, scenario_preset
+    from repro.core.scenario import Scenario, ScenarioRunner
+    from repro.errors import ParameterError
+    from repro.parallel import ParallelConfig
+    from repro.reporting import render_scenario_report
+
+    if args.list or args.name is None:
+        rows = []
+        for name in sorted(SCENARIO_PRESETS):
+            scenario = scenario_preset(name)
+            kinds = ", ".join(dict.fromkeys(
+                entry.kind for entry in scenario.mix.entries
+                if entry.weight > 0.0))
+            rows.append([name,
+                         "yes" if scenario.mix.mutates else "no",
+                         scenario.clients, scenario.backend, kinds])
+        listing = render_table(
+            ["scenario", "mutates", "clients", "backend", "operation mix"],
+            rows, title="Scenario presets (ocb scenario NAME)")
+        if args.name is None and not args.list:
+            return "\n".join([listing, "",
+                              "pick a scenario preset or pass a JSON "
+                              "spec file"])
+        return listing
+
+    # Preset names win; only non-preset arguments are treated as spec
+    # files (a stray file in the cwd must never shadow a preset).
+    if args.name.strip().lower() in SCENARIO_PRESETS:
+        scenario = scenario_preset(args.name)
+    elif args.name.endswith(".json") or os.path.exists(args.name):
+        try:
+            with open(args.name, "r", encoding="utf-8") as handle:
+                scenario = Scenario.from_json(handle.read())
+        except OSError as exc:
+            raise ParameterError(
+                f"cannot read scenario spec {args.name!r}: {exc}") from exc
+    else:
+        scenario = scenario_preset(args.name)
+
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.clients is not None:
+        overrides["clients"] = args.clients
+    if args.processes is not None:
+        overrides["clients"] = args.processes
+    if args.cold is not None:
+        overrides["cold_ops"] = args.cold
+    if args.warm is not None:
+        overrides["warm_ops"] = args.warm
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = replace(scenario, **overrides)
+    if scenario.backend == "sqlite":
+        options = dict(scenario.backend_options)
+        options.setdefault("path", args.sqlite_path)
+        options = _shared_sqlite_options(
+            options, args.journal_mode, args.busy_timeout,
+            for_processes=args.processes is not None)
+        scenario = replace(scenario, backend_options=options)
+
+    db_params, _ = preset(args.preset)
+    database, _report = generate_database(db_params)
+    runner = ScenarioRunner(database, scenario)
+    if args.processes is not None:
+        config = ParallelConfig(journal_mode=args.journal_mode,
+                                busy_timeout_ms=args.busy_timeout)
+        report = runner.run_processes(config=config)
+    else:
+        report = runner.run()
+    if args.json:
+        return json.dumps(report.to_dict(), indent=2)
+    lines = [render_scenario_report(report)]
+    if args.processes is not None and not report.executed_parallel \
+            and scenario.clients > 1:
+        lines.append("note: worker processes were unavailable; the "
+                     "clients ran sequentially in-process")
+    return "\n".join(lines)
+
+
+def _shared_sqlite_options(options: dict, journal_mode: str,
+                           busy_timeout_ms: int,
+                           for_processes: bool) -> dict:
+    """The one policy for SQLite under multiple clients.
+
+    Explicit options win; otherwise force the multi-writer settings
+    (WAL-ish journal, counted busy budget, crash-safe ``synchronous``,
+    matching ``ParallelConfig``) so in-process and process runs
+    benchmark the same engine configuration.  Process runs drop a
+    ``':memory:'`` path — it cannot be shared — so the runner creates a
+    temp file instead.
+    """
+    options = dict(options)
+    options.setdefault("journal_mode", journal_mode)
+    options.setdefault("busy_timeout_ms", busy_timeout_ms)
+    options.setdefault("synchronous", "NORMAL")
+    if for_processes and options.get("path") == ":memory:":
         options.pop("path")
+    return options
+
+
+def _parallel_options(args: argparse.Namespace) -> dict:
+    """Backend options for a process run, through the one shared policy."""
+    options = _backend_options(args)
+    if getattr(args, "backend", None) == "sqlite":
+        return _shared_sqlite_options(options, args.journal_mode,
+                                      args.busy_timeout,
+                                      for_processes=True)
     return options
 
 
@@ -361,10 +567,10 @@ def _cmd_multiuser(args: argparse.Namespace) -> str:
     if args.backend == "sqlite":
         # The journal/busy/synchronous knobs apply on the in-process
         # path too, so the two execution modes benchmark the same
-        # engine settings (NORMAL matches ParallelConfig.synchronous).
-        options.setdefault("journal_mode", args.journal_mode)
-        options.setdefault("busy_timeout_ms", args.busy_timeout)
-        options.setdefault("synchronous", "NORMAL")
+        # engine settings.
+        options = _shared_sqlite_options(options, args.journal_mode,
+                                         args.busy_timeout,
+                                         for_processes=False)
     runner = MultiClientRunner(database, args.backend, wl_params,
                                backend_options=options)
     report = runner.run()
@@ -545,6 +751,8 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         print(_cmd_run(args))
     elif args.command == "ops":
         print(_cmd_ops(args))
+    elif args.command == "scenario":
+        print(_cmd_scenario(args))
     elif args.command == "multiuser":
         print(_cmd_multiuser(args))
     elif args.command == "scale":

@@ -22,6 +22,8 @@ from repro.core.parameters import (
 )
 from repro.core.presets import (
     PRESETS,
+    SCENARIO_PRESETS,
+    scenario_preset,
     default_database_parameters,
     default_workload_parameters,
     dstc_club_database_parameters,
@@ -31,6 +33,17 @@ from repro.core.presets import (
     oo1_like_workload_parameters,
     oo7_like_database_parameters,
     preset,
+)
+from repro.core.scenario import (
+    ClientExecutor,
+    ClientScenarioReport,
+    MixEntry,
+    OpClassStats,
+    Scenario,
+    ScenarioPhase,
+    ScenarioReport,
+    ScenarioRunner,
+    WorkloadMix,
 )
 from repro.core.schema import ClassDescriptor, Schema
 from repro.core.session import Measurement, Session
@@ -64,6 +77,15 @@ __all__ = [
     "WorkloadParameters",
     "ReferenceTypeSpec",
     "default_reference_types",
+    "MixEntry",
+    "WorkloadMix",
+    "Scenario",
+    "OpClassStats",
+    "ScenarioPhase",
+    "ClientScenarioReport",
+    "ScenarioReport",
+    "ClientExecutor",
+    "ScenarioRunner",
     "ClassDescriptor",
     "Schema",
     "AccessContext",
@@ -77,6 +99,8 @@ __all__ = [
     "WorkloadRunner",
     "PRESETS",
     "preset",
+    "SCENARIO_PRESETS",
+    "scenario_preset",
     "default_database_parameters",
     "default_workload_parameters",
     "dstc_club_database_parameters",

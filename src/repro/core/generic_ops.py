@@ -1,4 +1,4 @@
-"""The "fully generic OCB" operation set — the paper's future work.
+"""The "fully generic OCB" operation set — now a scenario-layer shim.
 
 Section 5 of the paper: *"OCB could be easily enhanced to become a fully
 generic object-oriented benchmark ... by extending the transaction set so
@@ -7,27 +7,18 @@ discarded in the first place because they couldn't benefit from
 clustering)."*  Those are exactly the operations the related-work section
 catalogues and OCB's clustering-oriented workload dropped:
 
-* **creation** (OO1's Insert) — :meth:`GenericOperationsRunner.insert`,
-* **update** (HyperModel's Editing) — :meth:`~GenericOperationsRunner.update`
-  redraws one reference, maintaining back references on both the old and
-  the new target,
-* **deletion** (OO7's structural modifications) —
-  :meth:`~GenericOperationsRunner.delete` detaches every inbound and
-  outbound link before removing the object,
-* **range lookup** (HyperModel) — a predicate over a synthetic integer
-  attribute, evaluated on an index with every match fetched through the
-  store,
-* **sequential scan** (HyperModel) — visit every object.
+* **creation** (OO1's Insert), **update** (HyperModel's Editing),
+  **deletion** (OO7's structural modifications), **range lookup** and
+  **sequential scan** (HyperModel).
 
-The runner executes through the unified execution kernel
-(:class:`~repro.core.session.Session`), so the same operation stream
-runs against the simulated store **or any registered backend** —
-``GenericOperationsRunner(database, "sqlite")`` creates, bulk-loads and
-drives a SQLite engine.  Range lookups and sequential scans announce
-their match sets through the kernel's batched read path (one
-``IN``-clause round trip per set on SQLite); mutations collect their
-dirty records and write them back as a batch on engines with native
-batched writes.
+The implementations live in the declarative scenario layer
+(:class:`~repro.core.scenario.ClientExecutor` — where they also run
+partitioned across many clients); :class:`GenericOperationsRunner` is
+the single-client shim that preserves the original API and its
+byte-identical operation stream on the same seed (pinned by
+``tests/core/test_shim_equivalence.py``).  :class:`GenericOperation`,
+:class:`OperationResult` and :func:`attribute_of` are re-exported from
+the scenario module, their new home.
 
 The runner keeps the in-memory :class:`~repro.core.database.OCBDatabase`
 and the persistent store in lockstep, so structural invariants
@@ -40,53 +31,30 @@ backend.
 
 from __future__ import annotations
 
-from enum import Enum
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.backends.base import Backend
 from repro.clustering.base import ClusteringPolicy
-from repro.core.database import OCBDatabase, OCBObject
+from repro.core.database import OCBDatabase
+from repro.core.scenario import (
+    STREAM_GENERIC,
+    ClientExecutor,
+    GenericOperation,
+    OperationResult,
+    WorkloadMix,
+    attribute_of,
+)
 from repro.core.session import Session
 from repro.errors import WorkloadError
 from repro.rand.lewis_payne import LewisPayne
-from repro.store.serializer import StoredObject
 from repro.store.storage import ObjectStore
 
-__all__ = ["GenericOperation", "OperationResult", "GenericOperationsRunner"]
+__all__ = ["GenericOperation", "OperationResult", "GenericOperationsRunner",
+           "attribute_of"]
 
-_STREAM_GENERIC = 0x0CB0_00FF
-
-#: Chunk size for sequential-scan prefetches (bounds cache growth).
-_SCAN_BATCH = 256
-
-#: Attribute used by range lookups: a pseudo-random but deterministic
-#: percentile derived from the object id (Knuth's multiplicative hash).
-def attribute_of(oid: int) -> int:
-    """The synthetic ``hundred``-style attribute of an object (0..99)."""
-    return ((oid * 2654435761) & 0xFFFFFFFF) % 100
-
-
-class GenericOperation(str, Enum):
-    """The extended operation kinds."""
-
-    INSERT = "insert"
-    UPDATE = "update"
-    DELETE = "delete"
-    RANGE_LOOKUP = "range_lookup"
-    SEQUENTIAL_SCAN = "sequential_scan"
-
-
-@dataclass(frozen=True)
-class OperationResult:
-    """Metrics of one generic operation."""
-
-    operation: GenericOperation
-    objects_touched: int
-    io_reads: int
-    io_writes: int
-    sim_time: float
-    wall_time: float
+#: Backward-compatible alias: the substream key now lives in the
+#: scenario layer.
+_STREAM_GENERIC = STREAM_GENERIC
 
 
 class GenericOperationsRunner:
@@ -123,136 +91,35 @@ class GenericOperationsRunner:
         self.store = self.session.store
         self.policy = self.session.policy
         self._rng = rng or LewisPayne(
-            database.parameters.seed).spawn(_STREAM_GENERIC)
+            database.parameters.seed).spawn(STREAM_GENERIC)
+        self._executor = ClientExecutor(
+            database, WorkloadMix.from_operation_weights(),
+            self.session, rng=self._rng)
 
     # ------------------------------------------------------------------ #
-    # Operations
+    # Operations (delegated to the scenario executor)
     # ------------------------------------------------------------------ #
 
     def insert(self) -> OperationResult:
         """Create one object (class via DIST3, references via DIST4)."""
-        def body() -> int:
-            params = self.database.parameters
-            oid = self.database.next_oid
-            cid = params.dist3.draw(self._rng, 1, params.num_classes,
-                                    center=oid)
-            descriptor = self.database.schema.get(cid)
-            obj = OCBObject(oid=oid, cid=cid,
-                            oref=[None] * descriptor.max_nref)
-            self.database.add_object(obj)
-            dirty: Dict[int, None] = {}
-            low, high = params.object_ref_bounds(
-                min(oid, params.num_objects or oid))
-            for index, _type_id, target_class in descriptor.references():
-                if target_class is None:
-                    continue
-                iterator = self.database.schema.get(target_class).iterator
-                if not iterator:
-                    continue
-                drawn = params.dist4.draw(self._rng, low, high, center=oid)
-                target = iterator[(drawn - 1) % len(iterator)]
-                if target == oid:
-                    continue
-                obj.oref[index] = target
-                self.database.get(target).back_refs.append((oid, index))
-                dirty[target] = None
-            self._write_dirty(dirty)
-            self.session.insert_record(self._record_for(oid))
-            self.session.flush()
-            return 1 + len(dirty)
-        return self._timed(GenericOperation.INSERT, body)
+        return self._executor.op_insert()
 
     def update(self, oid: Optional[int] = None) -> OperationResult:
         """Redraw one reference of an object, fixing both back-ref sides."""
-        def body() -> int:
-            target_oid = oid if oid is not None else self._pick_oid()
-            obj = self.database.get(target_oid)
-            slots = [i for i, t in enumerate(obj.oref) if t is not None]
-            if not slots:
-                # Nothing to rewire; still a (logical) attribute update.
-                self._write_dirty({target_oid: None})
-                self.session.flush()
-                return 1
-            slot = slots[self._rng.randint(0, len(slots) - 1)]
-            old_target = obj.oref[slot]
-            descriptor = self.database.schema.get(obj.cid)
-            target_class = descriptor.cref[slot]
-            iterator = self.database.schema.get(target_class).iterator
-            params = self.database.parameters
-            low, high = params.object_ref_bounds(target_oid)
-            drawn = params.dist4.draw(self._rng, low, high, center=target_oid)
-            new_target = iterator[(drawn - 1) % len(iterator)]
-            if new_target == old_target:
-                self._write_dirty({target_oid: None})
-                self.session.flush()
-                return 1
-            obj.oref[slot] = new_target
-            old_obj = self.database.get(old_target)
-            old_obj.back_refs.remove((target_oid, slot))
-            self.database.get(new_target).back_refs.append((target_oid, slot))
-            dirty = dict.fromkeys((target_oid, old_target, new_target))
-            self._write_dirty(dirty)
-            self.session.flush()
-            return len(dirty)
-        return self._timed(GenericOperation.UPDATE, body)
+        return self._executor.op_update(oid)
 
     def delete(self, oid: Optional[int] = None) -> OperationResult:
         """Remove an object, detaching every inbound and outbound link."""
-        def body() -> int:
-            victim_oid = oid if oid is not None else self._pick_oid()
-            victim = self.database.get(victim_oid)
-            dirty = {}
-            # Outbound: remove our entries from targets' back references.
-            for index, target in enumerate(victim.oref):
-                if target is None or target == victim_oid:
-                    continue
-                target_obj = self.database.get(target)
-                target_obj.back_refs.remove((victim_oid, index))
-                dirty[target] = None
-            # Inbound: NULL every reference that points at the victim.
-            for source, index in list(victim.back_refs):
-                if source == victim_oid:
-                    continue
-                source_obj = self.database.get(source)
-                if source_obj.oref[index] == victim_oid:
-                    source_obj.oref[index] = None
-                    dirty[source] = None
-            self.database.remove_object(victim_oid)
-            self._write_dirty(dirty)
-            self.session.delete_record(victim_oid)
-            self.session.flush()
-            return 1 + len(dirty)
-        return self._timed(GenericOperation.DELETE, body)
+        return self._executor.op_delete(oid)
 
     def range_lookup(self, low: Optional[int] = None,
                      width: int = 10) -> OperationResult:
         """Fetch every object whose attribute falls in [low, low+width)."""
-        if not 1 <= width <= 100:
-            raise WorkloadError(f"width must be in [1, 100], got {width}")
-
-        def body() -> int:
-            start = low if low is not None \
-                else self._rng.randint(0, 100 - width)
-            matches = [oid for oid in self.database.objects
-                       if start <= attribute_of(oid) < start + width]
-            # The whole match set in one round trip on batched engines.
-            self.session.prefetch(matches)
-            for match in matches:
-                self.session.touch(match)
-            return len(matches)
-        return self._timed(GenericOperation.RANGE_LOOKUP, body)
+        return self._executor.op_range_lookup(low, width)
 
     def sequential_scan(self) -> OperationResult:
         """Visit every object in physical order."""
-        def body() -> int:
-            order = self.session.current_order()
-            for start in range(0, len(order), _SCAN_BATCH):
-                chunk = order[start:start + _SCAN_BATCH]
-                self.session.prefetch(chunk)
-                for scanned in chunk:
-                    self.session.touch(scanned)
-            return len(order)
-        return self._timed(GenericOperation.SEQUENTIAL_SCAN, body)
+        return self._executor.op_sequential_scan()
 
     def run_mix(self, operations: int,
                 weights: Optional[Dict[GenericOperation, float]] = None
@@ -260,74 +127,14 @@ class GenericOperationsRunner:
         """Run a weighted mix of the generic operations."""
         if operations < 0:
             raise WorkloadError(f"operations must be >= 0, got {operations}")
-        weights = weights or {
-            GenericOperation.INSERT: 0.25,
-            GenericOperation.UPDATE: 0.35,
-            GenericOperation.DELETE: 0.10,
-            GenericOperation.RANGE_LOOKUP: 0.25,
-            GenericOperation.SEQUENTIAL_SCAN: 0.05,
-        }
-        total = sum(weights.values())
-        if total <= 0:
+        # Falsy weights (None or {}) mean "use the default mix", exactly
+        # as the pre-shim implementation's `weights or {...}` did.
+        if weights and sum(weights.values()) <= 0:
             raise WorkloadError("operation weights must sum to > 0")
-        dispatch = {
-            GenericOperation.INSERT: self.insert,
-            GenericOperation.UPDATE: self.update,
-            GenericOperation.DELETE: self.delete,
-            GenericOperation.RANGE_LOOKUP: self.range_lookup,
-            GenericOperation.SEQUENTIAL_SCAN: self.sequential_scan,
-        }
+        mix = WorkloadMix.from_operation_weights(weights)
+        executor = self._executor
         results: List[OperationResult] = []
         for _ in range(operations):
-            u = self._rng.random() * total
-            acc = 0.0
-            chosen = GenericOperation.UPDATE
-            for operation, weight in weights.items():
-                acc += weight
-                if u < acc:
-                    chosen = operation
-                    break
-            if chosen is GenericOperation.DELETE and \
-                    len(self.database.objects) <= 1:
-                chosen = GenericOperation.INSERT  # Keep the DB populated.
-            results.append(dispatch[chosen]())
+            entry = executor._guarded(executor.draw_entry(mix))
+            results.append(executor.run_operation(entry))
         return results
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-
-    def _timed(self, operation: GenericOperation, body) -> OperationResult:
-        with self.session.measure() as span:
-            touched = body()
-        self.session.end_transaction()
-        assert span.delta is not None
-        return OperationResult(operation=operation,
-                               objects_touched=touched,
-                               io_reads=span.delta.io_reads,
-                               io_writes=span.delta.io_writes,
-                               sim_time=span.delta.sim_time,
-                               wall_time=span.wall)
-
-    def _pick_oid(self) -> int:
-        oids = sorted(self.database.objects)
-        return oids[self._rng.randint(0, len(oids) - 1)]
-
-    def _record_for(self, oid: int) -> StoredObject:
-        obj = self.database.get(oid)
-        instance_size = self.database.schema.get(obj.cid).instance_size
-        return StoredObject(oid=obj.oid, cid=obj.cid,
-                            refs=tuple(obj.oref),
-                            back_refs=tuple(obj.back_refs),
-                            filler=instance_size)
-
-    def _write_dirty(self, dirty: Dict[int, None]) -> None:
-        """Write the final in-memory state of every dirty object back.
-
-        Records are materialised *after* all of the operation's graph
-        surgery, so an object rewired twice within one operation is
-        written once, with its final state — a single batched round trip
-        on engines that support it.
-        """
-        self.session.write_records([self._record_for(oid) for oid in dirty])
-

@@ -16,6 +16,12 @@
 
 ``PRESETS`` maps preset names to ``(database, workload)`` factories for the
 CLI and the benchmark harness.
+
+``SCENARIO_PRESETS`` is the declarative-scenario library (``ocb scenario``,
+:mod:`repro.core.scenario`): named :class:`~repro.core.scenario.Scenario`
+factories covering the paper-default transaction mix plus the read/write
+shapes the legacy runners could not express — ``read_heavy``,
+``write_heavy``, ``mixed_oltp`` and ``scan_heavy``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.core.parameters import (
     ReferenceTypeSpec,
     WorkloadParameters,
 )
+from repro.core.scenario import MixEntry, Scenario, WorkloadMix
 from repro.errors import ParameterError
 from repro.rand.distributions import (
     ConstantDistribution,
@@ -45,6 +52,8 @@ __all__ = [
     "oo7_like_database_parameters",
     "PRESETS",
     "preset",
+    "SCENARIO_PRESETS",
+    "scenario_preset",
 ]
 
 
@@ -300,4 +309,95 @@ def preset(name: str) -> Tuple[DatabaseParameters, WorkloadParameters]:
         raise ParameterError(
             f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
         ) from None
+    return factory()
+
+
+# ---------------------------------------------------------------------- #
+# Scenario library (the declarative execution layer)
+# ---------------------------------------------------------------------- #
+
+def _paper_default_scenario() -> Scenario:
+    """Table 2's transaction mix as a scenario (PSET..PSTOCH = 0.25)."""
+    return Scenario(
+        mix=WorkloadMix.from_workload_parameters(
+            default_workload_parameters(), name="paper_default"),
+        clients=1, cold_ops=20, warm_ops=200)
+
+
+def _read_heavy_scenario() -> Scenario:
+    """Traversal-dominated reads with a sprinkle of set-oriented lookups."""
+    return Scenario(
+        mix=WorkloadMix(name="read_heavy", entries=(
+            MixEntry("set", weight=0.20, depth=2),
+            MixEntry("simple", weight=0.30, depth=3),
+            MixEntry("hierarchy", weight=0.20, depth=4),
+            MixEntry("stochastic", weight=0.10, depth=12),
+            MixEntry("range_lookup", weight=0.15, range_width=10),
+            MixEntry("sequential_scan", weight=0.05),
+        )),
+        clients=2, cold_ops=10, warm_ops=80)
+
+
+def _write_heavy_scenario() -> Scenario:
+    """Mutation-dominated mix whose logical metrics never depend on what
+    concurrent clients committed — inserts, reference rewires, deletes
+    and partition-local range reads — so multi-process runs stay
+    deterministic per client while their physical writes genuinely
+    contend on the shared engine."""
+    return Scenario(
+        mix=WorkloadMix(name="write_heavy", entries=(
+            MixEntry("insert", weight=0.30),
+            MixEntry("update", weight=0.45),
+            MixEntry("delete", weight=0.05),
+            MixEntry("range_lookup", weight=0.20, range_width=10),
+        )),
+        clients=2, cold_ops=5, warm_ops=60, backend="sqlite")
+
+
+def _mixed_oltp_scenario() -> Scenario:
+    """The OLTP shape: short traversals interleaved with writes."""
+    return Scenario(
+        mix=WorkloadMix(name="mixed_oltp", entries=(
+            MixEntry("set", weight=0.10, depth=2),
+            MixEntry("simple", weight=0.20, depth=2),
+            MixEntry("insert", weight=0.15),
+            MixEntry("update", weight=0.30),
+            MixEntry("delete", weight=0.05),
+            MixEntry("range_lookup", weight=0.15, range_width=5),
+            MixEntry("sequential_scan", weight=0.05),
+        )),
+        clients=2, cold_ops=5, warm_ops=60, backend="sqlite")
+
+
+def _scan_heavy_scenario() -> Scenario:
+    """Range- and scan-dominated reporting over a mutating trickle."""
+    return Scenario(
+        mix=WorkloadMix(name="scan_heavy", entries=(
+            MixEntry("range_lookup", weight=0.50, range_width=20),
+            MixEntry("sequential_scan", weight=0.30),
+            MixEntry("set", weight=0.10, depth=1),
+            MixEntry("update", weight=0.10),
+        )),
+        clients=1, cold_ops=5, warm_ops=40)
+
+
+ScenarioFactory = Callable[[], Scenario]
+
+SCENARIO_PRESETS: Dict[str, ScenarioFactory] = {
+    "paper_default": _paper_default_scenario,
+    "read_heavy": _read_heavy_scenario,
+    "write_heavy": _write_heavy_scenario,
+    "mixed_oltp": _mixed_oltp_scenario,
+    "scan_heavy": _scan_heavy_scenario,
+}
+
+
+def scenario_preset(name: str) -> Scenario:
+    """Instantiate a named scenario; raise ParameterError if unknown."""
+    try:
+        factory = SCENARIO_PRESETS[name.strip().lower()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scenario {name!r}; choose from "
+            f"{sorted(SCENARIO_PRESETS)}") from None
     return factory()

@@ -247,6 +247,27 @@ class Session:
         self._prefetched.update(self.store.read_many(missing))
         return len(missing)
 
+    def traverse_refs_many(self, oids: Iterable[int]
+                           ) -> Dict[int, Tuple[int, ...]]:
+        """A batch of objects' outgoing references, keyed by oid.
+
+        Structure-only frontier expansion: engines with a link index
+        (SQLite built with ``ref_index=True``) answer the whole batch in
+        one set-oriented round trip without decoding records; everywhere
+        else the backend's loop fallback runs.  No policy observations
+        are made — callers that *visit* the targets still go through
+        :meth:`access`.
+        """
+        batched = getattr(self.store, "traverse_refs_many", None)
+        if batched is not None:
+            return batched(list(oids))
+        # The classic ObjectStore: read-and-filter, one object at a time.
+        refs: Dict[int, Tuple[int, ...]] = {}
+        for oid in oids:
+            if oid not in refs:
+                refs[oid] = self.store.read_object(oid).non_null_refs()
+        return refs
+
     def end_transaction(self) -> None:
         """Close one transaction: notify the policy, drop the prefetch
         cache (its residency guarantee does not outlive the frontier)."""

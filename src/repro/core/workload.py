@@ -1,4 +1,4 @@
-"""The OCB execution protocol (Section 3.3).
+"""The OCB execution protocol (Section 3.3) — now a scenario-layer shim.
 
 Each client executes:
 
@@ -10,6 +10,14 @@ Each client executes:
 
 A latency ``THINK`` can be inserted between transactions (charged on the
 simulated clock).  Root objects come from DIST5/RAND5.
+
+:class:`WorkloadRunner` is a thin shim over the declarative scenario
+layer (:mod:`repro.core.scenario`): the Table 2 probabilities become a
+transaction-only :class:`~repro.core.scenario.WorkloadMix` and a
+:class:`~repro.core.scenario.ClientExecutor` drives it.  The entry draw,
+the RNG substream and the per-transaction execution are exact ports of
+the pre-refactor code, so reports are byte-identical on the same seed
+(pinned by ``tests/core/test_shim_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -18,23 +26,27 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.backends.base import Backend
-from repro.clustering.base import ClusteringPolicy, NoClustering, PlacementContext
+from repro.clustering.base import ClusteringPolicy, NoClustering
 from repro.core.database import OCBDatabase
 from repro.core.metrics import MetricsCollector, PhaseReport
 from repro.core.parameters import WorkloadParameters
-from repro.core.session import Session
-from repro.core.transactions import (
-    TransactionKind,
-    TransactionSpec,
-    run_transaction,
+from repro.core.scenario import (
+    STREAM_WORKLOAD,
+    ClientExecutor,
+    ScenarioCollector,
+    WorkloadMix,
 )
+from repro.core.session import Session
+from repro.core.transactions import TransactionSpec
 from repro.errors import WorkloadError
 from repro.rand.lewis_payne import LewisPayne
 from repro.store.storage import ObjectStore
 
 __all__ = ["WorkloadReport", "WorkloadRunner"]
 
-_STREAM_WORKLOAD = 0x0CB0_0001
+#: Backward-compatible alias: the substream key now lives in the
+#: scenario layer.
+_STREAM_WORKLOAD = STREAM_WORKLOAD
 
 
 @dataclass
@@ -104,7 +116,11 @@ class WorkloadRunner:
         seed = parameters.seed if parameters.seed is not None \
             else database.parameters.seed
         base_rng = rng or LewisPayne(seed)
-        self._rng = base_rng.spawn(_STREAM_WORKLOAD + client_id)
+        self.mix = WorkloadMix.from_workload_parameters(parameters)
+        self._executor = ClientExecutor(
+            database, self.mix, self.session, client_id=client_id,
+            rng=base_rng.spawn(STREAM_WORKLOAD + client_id))
+        self._rng = self._executor.rng
         #: Backward-compatible alias: the kernel superseded the
         #: per-runner ``AccessContext``.
         self.context = self.session
@@ -115,29 +131,8 @@ class WorkloadRunner:
 
     def draw_spec(self) -> TransactionSpec:
         """Draw kind, root, direction and depth for the next transaction."""
-        p = self.parameters
-        u = self._rng.random()
-        if u < p.p_set:
-            kind, depth = TransactionKind.SET, p.set_depth
-        elif u < p.p_set + p.p_simple:
-            kind, depth = TransactionKind.SIMPLE, p.simple_depth
-        elif u < p.p_set + p.p_simple + p.p_hierarchy:
-            kind, depth = TransactionKind.HIERARCHY, p.hierarchy_depth
-        else:
-            kind, depth = TransactionKind.STOCHASTIC, p.stochastic_depth
-
-        root = p.dist5.draw(self._rng, 1, self.database.num_objects)
-        reverse = (p.reverse_probability > 0.0
-                   and self._rng.random() < p.reverse_probability)
-        ref_type = None
-        if kind is TransactionKind.HIERARCHY:
-            ref_type = p.hierarchy_ref_type if p.hierarchy_ref_type is not None \
-                else self._rng.randint(
-                    1, self.database.parameters.num_ref_types)
-        return TransactionSpec(kind=kind, root=root, depth=depth,
-                               reverse=reverse, ref_type=ref_type,
-                               dedupe=p.dedupe_visits,
-                               max_visits=p.max_visits)
+        entry = self._executor.draw_entry()
+        return self._executor.draw_transaction_spec(entry)
 
     # ------------------------------------------------------------------ #
     # Phases
@@ -145,37 +140,22 @@ class WorkloadRunner:
 
     def step(self, collector: MetricsCollector) -> None:
         """Execute exactly one transaction (multi-client interleaving)."""
-        spec = self.draw_spec()
-        with self.session.measure() as span:
-            result = run_transaction(self.session, spec, self._rng)
-        collector.record(result, span.delta, span.wall)
+        executor = self._executor
+        entry = executor.draw_entry()
+        result, delta, wall = executor.run_transaction_entry(entry)
+        collector.record(result, delta, wall)
         self.session.charge_think_time(self.parameters.think_time)
-        self._maybe_auto_reorganize()
+        executor._maybe_auto_reorganize()
 
     def run_phase(self, name: str, transactions: int) -> PhaseReport:
         """Run *transactions* transactions, collecting per-kind metrics."""
-        collector = MetricsCollector(name)
+        collector = ScenarioCollector(name)
         for _ in range(transactions):
-            self.step(collector)
-        return collector.report
+            self._executor.step(collector)
+        return collector.classic.report
 
     def run(self) -> WorkloadReport:
         """Execute the full protocol: cold run, then warm run."""
         cold = self.run_phase("cold", self.parameters.cold_n)
         warm = self.run_phase("warm", self.parameters.hot_n)
         return WorkloadReport(cold=cold, warm=warm)
-
-    # ------------------------------------------------------------------ #
-    # Auto reorganization (policies with a trigger period)
-    # ------------------------------------------------------------------ #
-
-    def _maybe_auto_reorganize(self) -> None:
-        if not self.policy.wants_reorganization():
-            return
-        context = PlacementContext(sizes=self.database.record_sizes(),
-                                   page_size=self.store.page_size)
-        placement = self.policy.propose_placement(self.session.current_order(),
-                                                  context)
-        if placement is not None:
-            self.store.reorganize(placement.order,
-                                  aligned_groups=placement.aligned_groups)

@@ -28,10 +28,11 @@ from typing import List, Optional, Union
 from repro.backends.base import Backend
 from repro.clustering.base import ClusteringPolicy, NoClustering
 from repro.core.database import OCBDatabase
-from repro.core.metrics import LatencyPercentiles, MetricsCollector, PhaseReport
+from repro.core.metrics import LatencyPercentiles, PhaseReport
 from repro.core.parameters import WorkloadParameters
+from repro.core.scenario import Scenario, ScenarioRunner, WorkloadMix
 from repro.core.session import Session
-from repro.core.workload import WorkloadReport, WorkloadRunner
+from repro.core.workload import WorkloadReport
 from repro.errors import WorkloadError
 from repro.store.storage import ObjectStore
 
@@ -94,7 +95,14 @@ class MultiUserReport:
 
 
 class MultiClientRunner:
-    """Round-robin interleaving of CLIENTN workload streams."""
+    """Round-robin interleaving of CLIENTN workload streams.
+
+    A thin shim over the declarative scenario layer: the Table 2
+    transaction mix at ``CLIENTN`` clients, executed in-process by
+    :class:`~repro.core.scenario.ScenarioRunner` — per-client reports
+    are byte-identical to the pre-refactor interleaving on the same
+    seed (pinned by ``tests/core/test_shim_equivalence.py``).
+    """
 
     def __init__(self, database: OCBDatabase,
                  store: Union[ObjectStore, Backend, str],
@@ -113,25 +121,22 @@ class MultiClientRunner:
                 database, store, policy=self.policy, batch=batch,
                 backend_options=backend_options).store
         self.store = store
-        self._runners = [
-            WorkloadRunner(database, store, parameters, policy=self.policy,
-                           client_id=client, batch=batch)
-            for client in range(parameters.clients)]
+        self.scenario = Scenario(
+            mix=WorkloadMix.from_workload_parameters(parameters),
+            clients=parameters.clients,
+            cold_ops=parameters.cold_n,
+            warm_ops=parameters.hot_n,
+            seed=parameters.seed,
+            batch=batch)
+        self._runner = ScenarioRunner(database, self.scenario,
+                                      store=store, policy=self.policy)
 
     def run(self) -> MultiUserReport:
         """Interleave the cold runs, then the warm runs, transactionally."""
-        cold_collectors = [MetricsCollector("cold") for _ in self._runners]
-        warm_collectors = [MetricsCollector("warm") for _ in self._runners]
-
-        for _ in range(self.parameters.cold_n):
-            for runner, collector in zip(self._runners, cold_collectors):
-                runner.step(collector)
-        for _ in range(self.parameters.hot_n):
-            for runner, collector in zip(self._runners, warm_collectors):
-                runner.step(collector)
-
-        reports = [WorkloadReport(cold=c.report, warm=w.report)
-                   for c, w in zip(cold_collectors, warm_collectors)]
+        report = self._runner.run()
+        reports = [WorkloadReport(cold=client.cold.classic,
+                                  warm=client.warm.classic)
+                   for client in report.clients]
         backend_name = getattr(self.store, "name",
                                type(self.store).__name__)
         return MultiUserReport(clients=reports, backend_name=backend_name)

@@ -23,6 +23,13 @@ The determinism contract: a parallel run's per-client *logical* metrics
 (transaction mix, objects visited) are identical to the in-process
 runner's on the same seed — the RNG substreams are keyed by client id,
 never by process scheduling.
+
+Since the scenario layer landed, a :class:`WorkerSpec` can also carry a
+:class:`~repro.core.scenario.WorkloadMix`: the worker then executes a
+declarative scenario client — including *mutating* mixes, where every
+worker writes its own oid partition of one shared WAL SQLite file and
+the busy-retry accounting finally has real write-write collisions to
+count.  ``ScenarioRunner.run_processes`` is the high-level entry point.
 """
 
 from repro.parallel.pool import ProcessPool

@@ -103,6 +103,22 @@ class ParallelReport:
         """Time spent backing off on locks, summed over all workers."""
         return sum(worker.busy_wait_seconds for worker in self.workers)
 
+    # -- scenario-mix aggregates (zero for classic read-only runs) ------- #
+
+    @property
+    def read_misses(self) -> int:
+        """Tolerated reads of rows a concurrent worker deleted."""
+        return sum(worker.scenario_report.read_misses
+                   for worker in self.workers
+                   if worker.scenario_report is not None)
+
+    @property
+    def write_conflicts(self) -> int:
+        """Tolerated write-backs to rows a concurrent worker deleted."""
+        return sum(worker.scenario_report.write_conflicts
+                   for worker in self.workers
+                   if worker.scenario_report is not None)
+
     def describe(self) -> str:
         """One line: workers, mode, throughput, contention."""
         mode = self.mode if self.executed_parallel else \

@@ -67,7 +67,8 @@ class ParallelRunner:
                  config: Optional[ParallelConfig] = None,
                  store_config: Optional[StoreConfig] = None,
                  backend_options: Optional[Dict[str, object]] = None,
-                 batch: Optional[bool] = None) -> None:
+                 batch: Optional[bool] = None,
+                 mix: "Optional[object]" = None) -> None:
         if not isinstance(backend, str):
             raise WorkloadError(
                 "ParallelRunner needs a registered backend name; live "
@@ -81,6 +82,11 @@ class ParallelRunner:
         self.store_config = store_config
         self.backend_options = dict(backend_options or {})
         self.batch = batch
+        #: Optional :class:`~repro.core.scenario.WorkloadMix` — threaded
+        #: through every :class:`WorkerSpec` so the workers execute a
+        #: declarative scenario (possibly mutating) instead of the
+        #: classic read-only transaction protocol.
+        self.mix = mix
         path = self.backend_options.get("path")
         self.shared = ("concurrent" in _backend_capabilities(self.backend)
                        and path != ":memory:")
@@ -110,7 +116,8 @@ class ParallelRunner:
                                 backend_options=options,
                                 store_config=self.store_config,
                                 shared=self.shared,
-                                batch=self.batch)
+                                batch=self.batch,
+                                mix=self.mix)
                      for client in range(self.parameters.clients)]
             pool = ProcessPool(
                 processes=self.config.max_workers or len(specs),

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 from repro.core.database import OCBDatabase
 from repro.core.parameters import WorkloadParameters
+from repro.core.scenario import ClientScenarioReport, WorkloadMix
 from repro.core.workload import WorkloadReport
 from repro.errors import ParameterError
 from repro.store.storage import StoreConfig
@@ -84,6 +85,14 @@ class WorkerSpec:
     #: (engines without the ``concurrent`` capability).
     shared: bool = False
     batch: Optional[bool] = None
+    #: Declarative scenario mix to execute instead of the classic
+    #: transaction protocol.  ``None`` keeps the legacy read-only path;
+    #: a :class:`~repro.core.scenario.WorkloadMix` makes the worker a
+    #: scenario client: ``parameters.clients`` is the partition width,
+    #: ``parameters.cold_n``/``hot_n`` the protocol sizes, and mutating
+    #: mixes on shared storage run with tolerant write-backs (see the
+    #: scenario module docs).
+    mix: Optional[WorkloadMix] = None
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -105,6 +114,9 @@ class WorkerResult:
     busy_retries: int = 0
     busy_wait_seconds: float = 0.0
     backend_stats: Dict[str, object] = field(default_factory=dict)
+    #: Per-operation-class scenario breakdown — set when the spec
+    #: carried a :class:`~repro.core.scenario.WorkloadMix`.
+    scenario_report: Optional[ClientScenarioReport] = None
 
     @property
     def transactions(self) -> int:

@@ -18,6 +18,15 @@ Lewis–Payne substream (``client_id``-keyed) the in-process
 :class:`~repro.multiuser.runner.MultiClientRunner` would use, so the
 logical metrics are identical by construction — only the wall clock and
 the contention counters change.
+
+When the spec carries a :class:`~repro.core.scenario.WorkloadMix`, the
+worker becomes a *scenario* client instead: the pickled database copy is
+its private logical view, mutating mixes partition the oid space by
+``client_id`` (see :mod:`repro.core.scenario`), and the result carries
+the per-operation-class breakdown next to the classic report.  This is
+how ``ocb scenario --processes N`` runs read/write mixes against one
+shared SQLite file where write-write collisions and busy retries
+genuinely occur.
 """
 
 from __future__ import annotations
@@ -25,8 +34,10 @@ from __future__ import annotations
 import os
 import time
 
+from repro.core.scenario import ClientExecutor, ClientScenarioReport, \
+    ScenarioCollector
 from repro.core.session import Session
-from repro.core.workload import WorkloadRunner
+from repro.core.workload import WorkloadReport, WorkloadRunner
 from repro.parallel.spec import WorkerSpec, WorkerResult
 
 __all__ = ["run_worker"]
@@ -41,22 +52,59 @@ def run_worker(spec: WorkerSpec) -> WorkerResult:
         backend_options=dict(spec.backend_options),
         batch=spec.batch,
         load=not spec.shared)
-    runner = WorkloadRunner(spec.database, session, spec.parameters,
-                            client_id=spec.client_id)
-    setup_seconds = time.perf_counter() - setup_start
-
-    run_start = time.perf_counter()
-    report = runner.run()
-    wall_seconds = time.perf_counter() - run_start
+    if spec.mix is None:
+        runner = WorkloadRunner(spec.database, session, spec.parameters,
+                                client_id=spec.client_id)
+        setup_seconds = time.perf_counter() - setup_start
+        run_start = time.perf_counter()
+        report = runner.run()
+        wall_seconds = time.perf_counter() - run_start
+        scenario_report = None
+    else:
+        partitioned = spec.parameters.clients > 1 and spec.mix.mutates
+        executor = ClientExecutor(
+            spec.database, spec.mix, session,
+            client_id=spec.client_id,
+            total_clients=spec.parameters.clients,
+            seed=spec.parameters.seed,
+            partitioned=partitioned,
+            # Mutating clients of one shared engine must survive reading
+            # or writing back rows a concurrent client deleted; private
+            # replicas cannot conflict, so the flag only bites when shared.
+            tolerate_conflicts=partitioned and spec.shared)
+        setup_seconds = time.perf_counter() - setup_start
+        cold = ScenarioCollector("cold")
+        warm = ScenarioCollector("warm")
+        run_start = time.perf_counter()
+        for _ in range(spec.parameters.cold_n):
+            executor.step(cold)
+        for _ in range(spec.parameters.hot_n):
+            executor.step(warm)
+        wall_seconds = time.perf_counter() - run_start
+        report = WorkloadReport(cold=cold.classic.report,
+                                warm=warm.classic.report)
+        scenario_report = ClientScenarioReport(
+            client_id=spec.client_id,
+            cold=cold.phase, warm=warm.phase,
+            read_misses=executor.read_misses,
+            write_conflicts=executor.write_conflicts,
+            pid=os.getpid(),
+            wall_seconds=wall_seconds)
 
     stats = session.store.stats()
     session.close()
+    busy_retries = int(stats.get("busy_retries", 0) or 0)
+    busy_wait = float(stats.get("busy_wait_seconds", 0.0) or 0.0)
+    if scenario_report is not None:
+        scenario_report.busy_retries = busy_retries
+        scenario_report.busy_wait_seconds = busy_wait
     return WorkerResult(
         client_id=spec.client_id,
         pid=os.getpid(),
         report=report,
         wall_seconds=wall_seconds,
         setup_seconds=setup_seconds,
-        busy_retries=int(stats.get("busy_retries", 0) or 0),
-        busy_wait_seconds=float(stats.get("busy_wait_seconds", 0.0) or 0.0),
-        backend_stats=stats)
+        busy_retries=busy_retries,
+        busy_wait_seconds=busy_wait,
+        backend_stats=stats,
+        scenario_report=scenario_report)

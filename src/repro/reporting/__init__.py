@@ -12,6 +12,11 @@ from repro.reporting.scaling import (
     render_scaling_sweep,
     summarize_parallel_run,
 )
+from repro.reporting.scenario import (
+    render_scenario_classes,
+    render_scenario_clients,
+    render_scenario_report,
+)
 from repro.reporting.figures import (
     Series,
     render_line_chart,
@@ -35,4 +40,7 @@ __all__ = [
     "summarize_parallel_run",
     "render_scaling_sweep",
     "render_parallel_workers",
+    "render_scenario_classes",
+    "render_scenario_clients",
+    "render_scenario_report",
 ]

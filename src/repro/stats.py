@@ -47,7 +47,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[low])
     fraction = rank - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    result = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Interpolation must stay inside its bracket: for subnormal
+    # endpoints the products can round to zero, which would put e.g. a
+    # median *below* the minimum.
+    return min(max(result, ordered[low]), ordered[high])
 
 
 def confidence_interval(values: Sequence[float]) -> float:

@@ -291,3 +291,154 @@ class TestSimulatedDelegation:
 
     def test_supports_clustering_flag(self):
         assert SimulatedBackend(store_config=None).supports_clustering
+
+
+class TestTraverseRefsMany:
+    """Batched reference traversal: loop fallback + SQLite link index."""
+
+    def _ref_indexed(self, small_database):
+        from repro.backends import SQLiteBackend
+        backend = SQLiteBackend(page_size=512, cache_pages=16,
+                                ref_index=True)
+        records = small_database.to_records()
+        backend.bulk_load(records.values(), order=sorted(records))
+        backend.reset_stats()
+        return backend
+
+    def test_fallback_matches_per_object_traversal(self, loaded_backend,
+                                                   small_database):
+        oids = sorted(small_database.objects)[:30]
+        batched = loaded_backend.traverse_refs_many(oids)
+        assert batched == {oid: loaded_backend.traverse_refs(oid)
+                           for oid in oids}
+
+    def test_fallback_missing_oid_raises(self, loaded_backend):
+        from repro.errors import UnknownObject
+        with pytest.raises(UnknownObject):
+            loaded_backend.traverse_refs_many([999999])
+
+    def test_link_index_one_round_trip_no_decode(self, small_database):
+        backend = self._ref_indexed(small_database)
+        assert backend.supports_ref_index
+        oids = sorted(small_database.objects)[:50]
+        expected = {oid: small_database.to_records()[oid].non_null_refs()
+                    for oid in oids}
+        before = backend.sql_round_trips
+        answered = backend.traverse_refs_many(oids)
+        assert backend.sql_round_trips == before + 1
+        assert answered == expected
+        backend.close()
+
+    def test_link_index_covers_zero_ref_objects(self, small_database):
+        backend = self._ref_indexed(small_database)
+        oids = sorted(small_database.objects)
+        answered = backend.traverse_refs_many(oids)
+        assert set(answered) == set(oids)
+        backend.close()
+
+    def test_link_index_missing_oid_raises(self, small_database):
+        from repro.errors import UnknownObject
+        backend = self._ref_indexed(small_database)
+        with pytest.raises(UnknownObject):
+            backend.traverse_refs_many([1, 999999])
+        backend.close()
+
+    def test_link_index_maintained_across_mutations(self, small_database):
+        backend = self._ref_indexed(small_database)
+        records = small_database.to_records()
+        oids = sorted(records)
+        first, second = oids[0], oids[1]
+        # Update: rewrite first's references to point at second only.
+        changed = records[first].with_refs((second,))
+        backend.write_object(changed)
+        assert backend.traverse_refs_many([first])[first] == (second,)
+        # Insert: a brand-new object referencing first.
+        from repro.store.serializer import StoredObject
+        fresh = StoredObject(oid=max(oids) + 1, cid=1,
+                             refs=(first, None), filler=16)
+        backend.insert_object(fresh)
+        assert backend.traverse_refs_many([fresh.oid])[fresh.oid] == (first,)
+        # Delete: the victim's link rows disappear with it.
+        backend.delete_object(fresh.oid)
+        from repro.errors import UnknownObject
+        with pytest.raises(UnknownObject):
+            backend.traverse_refs_many([fresh.oid])
+        backend.close()
+
+    def test_default_engine_has_no_index_and_unchanged_write_cost(
+            self, small_database):
+        from repro.backends import SQLiteBackend
+        backend = SQLiteBackend(page_size=512, cache_pages=16)
+        assert not backend.supports_ref_index
+        records = small_database.to_records()
+        backend.bulk_load(records.values(), order=sorted(records))
+        backend.reset_stats()
+        oid = sorted(records)[0]
+        before = backend.sql_round_trips
+        backend.write_object(records[oid])
+        assert backend.sql_round_trips == before + 1
+        backend.close()
+
+    def test_connect_worker_inherits_ref_index(self, small_database,
+                                               tmp_path):
+        from repro.backends import SQLiteBackend
+        backend = SQLiteBackend(path=str(tmp_path / "refidx.db"),
+                                page_size=512, cache_pages=16,
+                                ref_index=True, journal_mode="WAL",
+                                synchronous="NORMAL")
+        records = small_database.to_records()
+        backend.bulk_load(records.values(), order=sorted(records))
+        worker = backend.connect_worker()
+        try:
+            assert worker.ref_index
+            oids = sorted(records)[:10]
+            assert worker.traverse_refs_many(oids) == \
+                {oid: records[oid].non_null_refs() for oid in oids}
+        finally:
+            worker.close()
+            backend.close()
+
+    def test_session_passthrough(self, small_database):
+        from repro.core.session import Session
+        backend = self._ref_indexed(small_database)
+        session = Session(backend)
+        oids = sorted(small_database.objects)[:10]
+        expected = {oid: small_database.to_records()[oid].non_null_refs()
+                    for oid in oids}
+        assert session.traverse_refs_many(oids) == expected
+        session.close()
+
+    def test_link_index_consistent_after_partial_write_many(
+            self, small_database):
+        """A write_many batch that hits a missing oid must still leave
+        the link index in lockstep with every blob it did update."""
+        from repro.errors import UnknownObject
+        backend = self._ref_indexed(small_database)
+        records = small_database.to_records()
+        first, second = sorted(records)[:2]
+        changed = records[first].with_refs((second,))
+        missing = records[second].with_refs(())
+        missing = type(missing)(oid=max(records) + 1, cid=1,
+                                refs=(first,), filler=8)
+        with pytest.raises(UnknownObject):
+            backend.write_many([changed, missing])
+        # The row that did update answers identically via both paths.
+        assert backend.read_object(first).non_null_refs() == (second,)
+        assert backend.traverse_refs_many([first])[first] == (second,)
+        backend.close()
+
+    def test_no_phantom_round_trips_for_leaf_records(self, small_database):
+        """Link maintenance with nothing to insert must not inflate the
+        round-trip counter the benchmarks compare."""
+        from repro.store.serializer import StoredObject
+        backend = self._ref_indexed(small_database)
+        leaf = StoredObject(oid=max(small_database.objects) + 1, cid=1,
+                            refs=(None, None), filler=8)
+        before = backend.sql_round_trips
+        backend.insert_object(leaf)
+        assert backend.sql_round_trips == before + 1  # objects INSERT only
+        before = backend.sql_round_trips
+        backend.write_object(leaf)
+        # objects UPDATE + links DELETE; no empty links INSERT counted.
+        assert backend.sql_round_trips == before + 2
+        backend.close()

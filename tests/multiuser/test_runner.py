@@ -127,7 +127,9 @@ class TestBackendNames:
     def test_clients_share_one_engine(self, small_database):
         runner = MultiClientRunner(small_database, "memory",
                                    workload(clients=3))
-        assert all(r.store is runner.store for r in runner._runners)
+        executors = runner._runner.build_executors(runner.store)
+        assert all(executor.session.store is runner.store
+                   for executor in executors)
 
     def test_backend_options_reach_the_engine(self, small_database,
                                               tmp_path):

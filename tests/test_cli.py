@@ -3,6 +3,8 @@ benchmarks and tests/test_experiments.py)."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -199,3 +201,81 @@ class TestExperimentCommands:
                      "--buffer-pages", "48"]) == 0
         out = capsys.readouterr().out
         assert "Table 5" in out
+
+
+class TestScenarioCommand:
+    def test_list_renders_the_preset_library(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper_default", "read_heavy", "write_heavy",
+                     "mixed_oltp", "scan_heavy"):
+            assert name in out
+
+    def test_bare_invocation_lists_and_hints(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "pick a scenario preset" in out
+
+    def test_preset_runs_in_process(self, capsys):
+        assert main(["scenario", "write_heavy", "--warm", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "per operation class" in out
+        assert "write_heavy" in out
+        assert "busy retries" in out
+
+    def test_json_document(self, capsys):
+        assert main(["scenario", "write_heavy", "--warm", "10",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scenario"] == "write_heavy"
+        assert document["write_operations"] > 0
+        assert document["mode"] == "interleaved"
+        assert document["busy_retries"] == 0
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = {
+            "mix": {"name": "probe", "entries": [
+                {"kind": "simple", "weight": 0.5, "depth": 2},
+                {"kind": "update", "weight": 0.5}]},
+            "clients": 2, "cold_ops": 1, "warm_ops": 5,
+            "backend": "memory",
+        }
+        path = tmp_path / "probe.json"
+        path.write_text(json.dumps(spec))
+        assert main(["scenario", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scenario"] == "probe"
+        assert document["clients"] == 2
+        assert document["operations"] == 2 * 6
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenario", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_cwd_file_cannot_shadow_a_preset(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "write_heavy").write_text("not json")
+        assert main(["scenario", "write_heavy", "--warm", "5",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scenario"] == "write_heavy"
+
+
+class TestMachineReadableRunAndOps:
+    def test_run_json_matches_scale_convention(self, capsys):
+        assert main(["run", "--backend", "memory", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "run"
+        assert document["warm_transactions"] > 0
+        assert document["wall_p50_ms"] <= document["wall_p99_ms"]
+        assert document["per_kind"][-1]["kind"] == "all"
+
+    def test_ops_json(self, capsys):
+        assert main(["ops", "--backend", "sqlite", "--operations", "8",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "ops"
+        assert document["operations"] == 8
+        assert document["sql_round_trips"] is not None
+        assert sum(row["n"] for row in document["per_operation"]) == 8
