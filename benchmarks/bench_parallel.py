@@ -4,10 +4,10 @@ The process-parallel companion to ``bench_backends.py`` — one generated
 database, one seed, executed at 1/2/4/8 worker processes against a
 shared WAL SQLite file.  Each point reports aggregate throughput,
 merged warm latency tails and the contention counters; the sweep is
-emitted both as the ASCII scaling table and as a JSON array of
-:class:`~repro.reporting.scaling.ScalingPoint` dicts (the same
-emission-shape convention as the cross-backend harness: every row a
-flat mapping of metric name to value).
+emitted both as the ASCII scaling table and as one schema-versioned
+``BENCH`` document (kind ``parallel_scaling``, cells =
+:class:`~repro.reporting.scaling.ScalingPoint` dicts — the unified
+shape of :mod:`repro.obs.results`, see ``docs/bench_schema.md``).
 
 Runs as a plain pytest module (no pytest-benchmark required)::
 
@@ -67,11 +67,20 @@ def sweep():
 
 
 def test_scaling_table_and_json(sweep):
+    from repro.obs import results
+
     points = [point for _, point in sweep]
     term_print(render_scaling_sweep(
         points, title="Throughput scaling on shared WAL SQLite"))
-    term_print(json.dumps([point.to_dict() for point in points], indent=2))
+    document = results.build_document(
+        kind="parallel_scaling",
+        cells=[point.to_dict() for point in points],
+        config={"db_scale": DB_SCALE, "seed": SEED,
+                "workers": list(WORKERS), "cold_n": COLD_N, "hot_n": HOT_N},
+        name="bench_parallel")
+    term_print(json.dumps(document, indent=2))
     assert len(points) == len(WORKERS)
+    assert results.validate_document(document) is document
 
 
 def test_every_point_ran_its_full_workload(sweep):

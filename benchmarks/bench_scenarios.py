@@ -6,7 +6,9 @@ processes against a shared WAL SQLite file.  Each point reports the
 aggregate busy-retry count (real write-write lock collisions, counted
 by the engine's retry loop), throughput and write-conflict tolerance
 counters; the curve is the benchmark's headline: a single writer cannot
-collide, additional writers should.
+collide, additional writers should.  The sweep is emitted as one
+schema-versioned ``BENCH`` document (kind ``scenario_contention`` — the
+unified shape of :mod:`repro.obs.results`).
 
 Runs as a plain pytest module (no pytest-benchmark required)::
 
@@ -90,8 +92,17 @@ def test_busy_retry_curve_table_and_json(sweep):
          "busy wait (s)", "write conflicts"],
         rows, title="write_heavy contention vs worker count "
                     "(shared WAL SQLite)", precision=3))
-    term_print(json.dumps([p for _, p in sweep], indent=2))
+    from repro.obs import results
+    document = results.build_document(
+        kind="scenario_contention",
+        cells=[p for _, p in sweep],
+        config={"db_scale": DB_SCALE, "seed": SEED,
+                "workers": list(WORKERS), "cold_ops": COLD_OPS,
+                "warm_ops": WARM_OPS, "scenario": "write_heavy"},
+        name="bench_scenarios")
+    term_print(json.dumps(document, indent=2))
     assert len(sweep) == len(WORKERS)
+    assert results.validate_document(document) is document
 
 
 def test_every_point_ran_its_full_workload(sweep):

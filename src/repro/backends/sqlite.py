@@ -56,6 +56,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
 
 from repro.backends.base import Backend
 from repro.errors import BackendError, StorageError, UnknownObject
+from repro.obs import trace
 from repro.store.costs import DEFAULT_PAGE_SIZE
 from repro.store.serializer import StoredObject, decode_object, encode_object
 from repro.store.storage import stage_bulk_load
@@ -201,6 +202,9 @@ class SQLiteBackend(Backend):
                 time.sleep(delay)
                 self.busy_retries += 1
                 self.busy_wait_seconds += time.perf_counter() - now
+                if trace.enabled:
+                    trace.emit("sqlite.busy_retry",
+                               time.perf_counter() - now, attempt=attempt)
                 attempt += 1
 
     def _execute(self, sql: str, params: Sequence[object] = ()
@@ -251,17 +255,22 @@ class SQLiteBackend(Backend):
         return self._pragma_int("page_count")
 
     def read_object(self, oid: int) -> StoredObject:
+        started = time.perf_counter() if trace.enabled else 0.0
         self.sql_round_trips += 1
         row = self._execute(
             "SELECT data FROM objects WHERE oid = ?", (oid,)).fetchone()
         if row is None:
             raise UnknownObject(oid)
         self.object_accesses += 1
+        if trace.enabled:
+            trace.emit("sqlite.read_object",
+                       time.perf_counter() - started, oid=oid)
         return decode_object(row[0])
 
     def read_many(self, oids: Sequence[int]) -> Dict[int, StoredObject]:
         """One ``IN``-clause query per batch (chunked below the SQLite
         variable limit) — the whole BFS frontier in one round trip."""
+        started = time.perf_counter() if trace.enabled else 0.0
         unique: List[int] = list(dict.fromkeys(oids))
         records: Dict[int, StoredObject] = {}
         for start in range(0, len(unique), _MAX_BATCH_VARIABLES):
@@ -276,6 +285,9 @@ class SQLiteBackend(Backend):
             missing = next(oid for oid in unique if oid not in records)
             raise UnknownObject(missing)
         self.object_accesses += len(unique)
+        if trace.enabled:
+            trace.emit("sqlite.read_many",
+                       time.perf_counter() - started, oids=len(unique))
         return records
 
     def write_object(self, record: StoredObject) -> None:
@@ -292,6 +304,7 @@ class SQLiteBackend(Backend):
         """A single ``executemany`` round trip for the whole batch."""
         if not records:
             return
+        started = time.perf_counter() if trace.enabled else 0.0
         self.sql_round_trips += 1
         cur = self._executemany(
             "UPDATE objects SET cid = ?, data = ? WHERE oid = ?",
@@ -307,6 +320,9 @@ class SQLiteBackend(Backend):
                 raise UnknownObject(missing)
         self._reindex_links(records)
         self.object_accesses += len(records)
+        if trace.enabled:
+            trace.emit("sqlite.write_many",
+                       time.perf_counter() - started, records=len(records))
 
     def insert_object(self, record: StoredObject) -> None:
         self.sql_round_trips += 1
@@ -365,6 +381,7 @@ class SQLiteBackend(Backend):
         """
         if not self.ref_index:
             return super().traverse_refs_many(oids)
+        started = time.perf_counter() if trace.enabled else 0.0
         unique: List[int] = list(dict.fromkeys(oids))
         refs: Dict[int, List[int]] = {}
         for start in range(0, len(unique), _MAX_BATCH_VARIABLES):
@@ -383,6 +400,9 @@ class SQLiteBackend(Backend):
             missing = next(oid for oid in unique if oid not in refs)
             raise UnknownObject(missing)
         self.object_accesses += len(unique)
+        if trace.enabled:
+            trace.emit("sqlite.traverse_refs_many",
+                       time.perf_counter() - started, oids=len(unique))
         return {oid: tuple(targets) for oid, targets in refs.items()}
 
     def drop_caches(self) -> bool:

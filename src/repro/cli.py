@@ -17,6 +17,10 @@ Subcommands::
                                   against shared WAL storage)
     ocb scale     [--workers ...] worker-count sweep: throughput scaling
                                   + contention table
+    ocb bench     [--spec FILE]   run the resource-monitored experiment
+                                  matrix, persist BENCH_<date>.json and
+                                  optionally --compare BASELINE.json
+                                  (exit code 2 on regression)
     ocb tables --id {1,2,3}       print the paper's parameter tables
     ocb fig4                      reproduce Figure 4 (creation time)
     ocb table4                    reproduce Table 4 (DSTC-CluB vs OCB)
@@ -34,6 +38,12 @@ runs (slow in pure Python) remain one flag away.
 ``run``, ``ops`` and ``scenario`` accept ``--json`` to emit a single
 machine-readable JSON document instead of the tables (flat metric
 mappings, the same emission convention as ``ocb scale --json``).
+
+``run``, ``ops``, ``scenario`` and ``bench`` accept ``--trace FILE`` to
+stream per-operation trace records (:mod:`repro.obs.trace`) to a JSONL
+file; a per-name summary lands on stderr after the run.  ``ocb scale
+--json`` and ``ocb bench`` emit the one schema-versioned document shape
+of :mod:`repro.obs.results` (see ``docs/bench_schema.md``).
 """
 
 from __future__ import annotations
@@ -117,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit one machine-readable JSON document "
                           "instead of the tables")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="stream per-operation trace records to a "
+                          "JSONL file (summary on stderr)")
 
     ops = sub.add_parser("ops", help="run the generic operation mix "
                                      "(insert/update/delete/range/scan)")
@@ -133,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     ops.add_argument("--json", action="store_true",
                      help="emit one machine-readable JSON document "
                           "instead of the tables")
+    ops.add_argument("--trace", default=None, metavar="FILE",
+                     help="stream per-operation trace records to a "
+                          "JSONL file (summary on stderr)")
 
     scenario = sub.add_parser(
         "scenario", help="run a declarative WorkloadMix scenario "
@@ -179,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--json", action="store_true",
                           help="emit one machine-readable JSON document "
                                "instead of the tables")
+    scenario.add_argument("--trace", default=None, metavar="FILE",
+                          help="stream per-operation trace records to a "
+                               "JSONL file (summary on stderr)")
 
     multiuser = sub.add_parser(
         "multiuser", help="run CLIENTN clients against one shared engine "
@@ -231,7 +250,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-connection busy budget in ms "
                             "(default: 5000)")
     scale.add_argument("--json", action="store_true",
-                       help="also emit the sweep as a JSON array")
+                       help="also emit the sweep as one schema-versioned "
+                            "BENCH document (kind 'scale_sweep')")
+
+    bench = sub.add_parser(
+        "bench", help="run the resource-monitored experiment matrix and "
+                      "persist the perf trajectory (BENCH_<date>.json)")
+    bench.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON MatrixSpec file (default: the built-in "
+                            "2-cell tiny matrix)")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="output path (default: BENCH_<date>.json in "
+                            "the current directory)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff the result against a committed "
+                            "BENCH_*.json; exit code 2 on regression")
+    bench.add_argument("--current", default=None, metavar="FILE",
+                       help="compare/render an existing document instead "
+                            "of running the matrix")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="relative tolerance band for the perf gates "
+                            "(default: 0.5 = 50%%)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the document to stdout as well")
+    bench.add_argument("--trace", default=None, metavar="FILE",
+                       help="stream per-operation trace records to a "
+                            "JSONL file (summary on stderr)")
 
     tables = sub.add_parser("tables", help="print the paper's parameter tables")
     tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
@@ -653,10 +697,77 @@ def _cmd_scale(args: argparse.Namespace) -> str:
             shutil.rmtree(tempdir, ignore_errors=True)
     out = [render_scaling_sweep(points)]
     if args.json:
+        from repro.obs import results
+        document = results.build_document(
+            kind="scale_sweep",
+            cells=[point.to_dict() for point in points],
+            config={"preset": args.preset, "backend": args.backend,
+                    "workers": list(args.workers),
+                    "journal_mode": args.journal_mode,
+                    "busy_timeout_ms": args.busy_timeout},
+            name="scale")
         out.append("")
-        out.append(json.dumps([point.to_dict() for point in points],
-                              indent=2))
+        out.append(json.dumps(document, indent=2))
     return "\n".join(out)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run (or load) a matrix document, render it, gate on a baseline."""
+    import json
+
+    from repro.errors import ParameterError
+    from repro.obs import results
+    from repro.obs.matrix import MatrixSpec, compare_documents, \
+        run_matrix, tiny_spec
+    from repro.reporting import render_bench_cells, render_bench_comparison
+
+    if args.current is not None:
+        document = results.load_document(args.current)
+        if args.out is not None:
+            written = results.write_document(document, path=args.out)
+            print(f"ocb bench: wrote {written}", file=sys.stderr)
+    else:
+        if args.spec is not None:
+            try:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    spec = MatrixSpec.from_json(handle.read())
+            except OSError as exc:
+                raise ParameterError(
+                    f"cannot read matrix spec {args.spec!r}: {exc}") from exc
+        else:
+            spec = tiny_spec()
+        document = run_matrix(
+            spec, progress=lambda line: print(line, file=sys.stderr))
+        written = results.write_document(document, path=args.out)
+        print(f"ocb bench: wrote {written}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        system = document.get("system", {})
+        print(render_bench_cells(
+            document["cells"],
+            title=f"Experiment matrix {document.get('name')!r} "
+                  f"@ {system.get('git_rev') or 'unknown rev'}"))
+    if args.compare is None:
+        return 0
+    baseline = results.load_document(args.compare)
+    comparison = compare_documents(document, baseline,
+                                   tolerance=args.tolerance)
+    rows = [{"key": row.key, "status": row.status,
+             "throughput_ratio": row.throughput_ratio,
+             "problems": row.problems}
+            for row in comparison.rows]
+    print()
+    print(render_bench_comparison(
+        rows, title=f"vs baseline {args.compare}"))
+    print(comparison.describe())
+    if comparison.ok:
+        return 0
+    for row in comparison.regressions:
+        problems = "; ".join(row.problems) or "cell missing"
+        print(f"ocb bench: regression in {row.key}: {problems}",
+              file=sys.stderr)
+    return 2
 
 
 def _cmd_tables(args: argparse.Namespace) -> str:
@@ -739,6 +850,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _dispatch(argv: Optional[Sequence[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import trace
+        trace.enable(sink_path=trace_path)
+    try:
+        return _dispatch_command(parser, args)
+    finally:
+        if trace_path:
+            collector = trace.disable()
+            if collector is not None:
+                print(f"trace: {collector.total} records -> {trace_path} "
+                      f"({collector.dropped} beyond the ring buffer)",
+                      file=sys.stderr)
+                for name, count, total, mean in trace.summary(collector):
+                    print(f"trace: {name}: {count} x, "
+                          f"total {total * 1e3:.1f} ms, "
+                          f"mean {mean * 1e3:.3f} ms", file=sys.stderr)
+
+
+def _dispatch_command(parser: argparse.ArgumentParser,
+                      args: argparse.Namespace) -> int:
     if args.command == "info":
         print(_cmd_info())
     elif args.command == "presets":
@@ -757,6 +889,8 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         print(_cmd_multiuser(args))
     elif args.command == "scale":
         print(_cmd_scale(args))
+    elif args.command == "bench":
+        return _cmd_bench(args)
     elif args.command == "tables":
         print(_cmd_tables(args))
     elif args.command == "fig4":

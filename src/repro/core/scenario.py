@@ -91,6 +91,7 @@ from repro.core.transactions import (
 )
 from repro.errors import ParameterError, StorageError, UnknownObject, \
     WorkloadError
+from repro.obs import trace
 from repro.rand.distributions import Distribution, UniformDistribution
 from repro.rand.lewis_payne import LewisPayne
 from repro.store.serializer import StoredObject
@@ -581,6 +582,7 @@ class OpClassStats:
             "sim_time": self.sim_time,
             "wall_p50_ms": wall.p50 * 1e3,
             "wall_p95_ms": wall.p95 * 1e3,
+            "wall_p99_ms": wall.p99 * 1e3,
             "busy_retries": self.busy_retries,
         }
 
@@ -645,12 +647,14 @@ class ScenarioPhase:
             wall = stats.wall_percentiles()
             table.append([op_class, stats.count, stats.objects_per_op,
                           stats.sim_time_per_op, wall.p50 * 1e3,
-                          wall.p95 * 1e3, stats.busy_retries])
+                          wall.p95 * 1e3, wall.p99 * 1e3,
+                          stats.busy_retries])
         totals = self.totals
         wall = totals.wall_percentiles()
         table.append(["all", totals.count, totals.objects_per_op,
                       totals.sim_time_per_op, wall.p50 * 1e3,
-                      wall.p95 * 1e3, totals.busy_retries])
+                      wall.p95 * 1e3, wall.p99 * 1e3,
+                      totals.busy_retries])
         return table
 
     def to_dict(self) -> dict:
@@ -747,6 +751,12 @@ class ScenarioReport:
     mode: str = "interleaved"
     elapsed_seconds: float = 0.0
     executed_parallel: bool = False
+    #: Engine-level SQL statements executed (0 for non-SQL backends) —
+    #: summed over workers when the scenario ran as processes.
+    sql_round_trips: int = 0
+    #: Per-worker resource usage mappings when the scenario ran as
+    #: monitored OS processes (see :class:`repro.obs.ResourceMonitor`).
+    worker_resources: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def client_count(self) -> int:
@@ -836,6 +846,7 @@ class ScenarioReport:
             "write_operations": self.write_operations,
             "busy_retries": self.busy_retries,
             "busy_wait_seconds": self.busy_wait_seconds,
+            "sql_round_trips": self.sql_round_trips,
             "read_misses": self.read_misses,
             "write_conflicts": self.write_conflicts,
             "warm": self.merged_warm.to_dict(),
@@ -1023,6 +1034,14 @@ class ClientExecutor:
 
     def execute(self, entry: MixEntry, collector: ScenarioCollector) -> None:
         """Execute one already-drawn entry, recording its metrics."""
+        if trace.enabled:
+            with trace.span("scenario.op", kind=entry.kind,
+                            client=self.client_id):
+                self._execute(entry, collector)
+        else:
+            self._execute(entry, collector)
+
+    def _execute(self, entry: MixEntry, collector: ScenarioCollector) -> None:
         retries_before = self._busy_retries()
         if entry.is_transaction:
             result, delta, wall = self.run_transaction_entry(entry)
@@ -1356,12 +1375,24 @@ class ScenarioRunner:
         cold = [ScenarioCollector("cold") for _ in executors]
         warm = [ScenarioCollector("warm") for _ in executors]
         started = time.perf_counter()
-        for _ in range(scenario.cold_ops):
-            for executor, collector in zip(executors, cold):
-                executor.step(collector)
-        for _ in range(scenario.warm_ops):
-            for executor, collector in zip(executors, warm):
-                executor.step(collector)
+        if trace.enabled:
+            with trace.span("scenario.phase", phase="cold",
+                            scenario=self.mix.name):
+                for _ in range(scenario.cold_ops):
+                    for executor, collector in zip(executors, cold):
+                        executor.step(collector)
+            with trace.span("scenario.phase", phase="warm",
+                            scenario=self.mix.name):
+                for _ in range(scenario.warm_ops):
+                    for executor, collector in zip(executors, warm):
+                        executor.step(collector)
+        else:
+            for _ in range(scenario.cold_ops):
+                for executor, collector in zip(executors, cold):
+                    executor.step(collector)
+            for _ in range(scenario.warm_ops):
+                for executor, collector in zip(executors, warm):
+                    executor.step(collector)
         elapsed = time.perf_counter() - started
         clients = [
             ClientScenarioReport(
@@ -1386,7 +1417,8 @@ class ScenarioRunner:
             backend_name=backend_name,
             mode="interleaved",
             elapsed_seconds=elapsed,
-            executed_parallel=False)
+            executed_parallel=False,
+            sql_round_trips=int(stats.get("sql_round_trips", 0) or 0))
 
     # -- process execution ------------------------------------------------ #
 
@@ -1427,10 +1459,19 @@ class ScenarioRunner:
         clients = [worker.scenario_report
                    for worker in parallel_report.workers
                    if worker.scenario_report is not None]
+        sql_round_trips = sum(
+            int((worker.backend_stats or {}).get("sql_round_trips", 0) or 0)
+            for worker in parallel_report.workers)
+        worker_resources = [
+            dict(worker.resource_usage, worker=worker.worker_id)
+            for worker in parallel_report.workers
+            if worker.resource_usage]
         return ScenarioReport(
             scenario_name=self.mix.name,
             clients=clients,
             backend_name=parallel_report.backend_name,
             mode=parallel_report.mode,
             elapsed_seconds=parallel_report.elapsed_seconds,
-            executed_parallel=parallel_report.executed_parallel)
+            executed_parallel=parallel_report.executed_parallel,
+            sql_round_trips=sql_round_trips,
+            worker_resources=worker_resources)

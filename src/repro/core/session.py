@@ -50,6 +50,7 @@ from repro.backends.base import Backend
 from repro.clustering.base import ClusteringPolicy, NoClustering
 from repro.core.database import OCBDatabase
 from repro.errors import WorkloadError
+from repro.obs import trace
 from repro.store.serializer import StoredObject
 from repro.store.storage import ObjectStore, StoreConfig, StoreSnapshot
 
@@ -84,6 +85,10 @@ class Measurement:
     def __exit__(self, *exc_info: object) -> None:
         self.wall = time.perf_counter() - self._start
         self.delta = self._store.snapshot() - self._before
+        if trace.enabled:
+            trace.emit("session.measure", self.wall,
+                       io_reads=self.delta.io_reads,
+                       io_writes=self.delta.io_writes)
 
 
 class Session:

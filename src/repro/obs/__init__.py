@@ -1,0 +1,45 @@
+"""Observability: tracing, resource monitoring, persisted benchmarks.
+
+Three pieces, deliberately dependency-light so the hot paths can import
+them without cycles:
+
+* :mod:`repro.obs.trace` — a span/event tracer with a ring-buffered
+  in-process collector and an optional JSONL sink.  Emission is guarded
+  by a module flag (``trace.enabled``) so a traced-off run executes no
+  tracer code at all on the paths PR 2/4 optimized.
+* :mod:`repro.obs.monitor` — a background resource sampler (CPU time
+  via :func:`os.times`, RSS via ``/proc/self/status`` with a
+  ``getrusage`` fallback — no psutil dependency) plus
+  :func:`~repro.obs.monitor.system_info` (git rev, platform, CPU count).
+* :mod:`repro.obs.results` — the one schema-versioned ``BENCH_*.json``
+  writer every benchmark emission path shares.
+
+:mod:`repro.obs.matrix` (the declarative experiment matrix behind
+``ocb bench``) imports the execution layers and therefore must be
+imported explicitly — it is *not* pulled in here, so backends and the
+kernel can import ``repro.obs`` without a cycle.
+"""
+
+from repro.obs import trace
+from repro.obs.monitor import ResourceMonitor, ResourceUsage, system_info
+from repro.obs.results import (
+    SCHEMA_VERSION,
+    build_document,
+    default_filename,
+    load_document,
+    validate_document,
+    write_document,
+)
+
+__all__ = [
+    "trace",
+    "ResourceMonitor",
+    "ResourceUsage",
+    "system_info",
+    "SCHEMA_VERSION",
+    "build_document",
+    "default_filename",
+    "load_document",
+    "validate_document",
+    "write_document",
+]

@@ -117,7 +117,9 @@ class ParallelRunner:
                                 store_config=self.store_config,
                                 shared=self.shared,
                                 batch=self.batch,
-                                mix=self.mix)
+                                mix=self.mix,
+                                monitor=self.config.monitor,
+                                monitor_interval=self.config.monitor_interval)
                      for client in range(self.parameters.clients)]
             pool = ProcessPool(
                 processes=self.config.max_workers or len(specs),

@@ -56,6 +56,12 @@ class ParallelConfig:
     #: honest WAL setting; the single-user default of ``OFF`` would let
     #: one worker's crash corrupt every other worker's database.
     synchronous: str = "NORMAL"
+    #: Sample every worker's CPU time and RSS with a
+    #: :class:`~repro.obs.ResourceMonitor` and return the usage on each
+    #: :class:`WorkerResult` (the ``ocb bench`` matrix sets this).
+    monitor: bool = False
+    #: Sampling period (seconds) of the per-worker monitors.
+    monitor_interval: float = 0.05
 
     def __post_init__(self) -> None:
         if self.busy_timeout_ms < 0:
@@ -68,6 +74,9 @@ class ParallelConfig:
         if self.max_workers is not None and self.max_workers < 1:
             raise ParameterError(
                 f"max_workers must be >= 1, got {self.max_workers}")
+        if self.monitor_interval <= 0.0:
+            raise ParameterError(
+                f"monitor_interval must be > 0, got {self.monitor_interval}")
 
 
 @dataclass
@@ -93,6 +102,10 @@ class WorkerSpec:
     #: mixes on shared storage run with tolerant write-backs (see the
     #: scenario module docs).
     mix: Optional[WorkloadMix] = None
+    #: Wrap the protocol in a :class:`~repro.obs.ResourceMonitor` and
+    #: ship the usage back on the result.
+    monitor: bool = False
+    monitor_interval: float = 0.05
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -117,6 +130,15 @@ class WorkerResult:
     #: Per-operation-class scenario breakdown — set when the spec
     #: carried a :class:`~repro.core.scenario.WorkloadMix`.
     scenario_report: Optional[ClientScenarioReport] = None
+    #: This worker's sampled CPU/RSS usage
+    #: (:meth:`repro.obs.ResourceUsage.to_dict` shape) — set when the
+    #: spec asked for monitoring.
+    resource_usage: Optional[Dict[str, object]] = None
+
+    @property
+    def worker_id(self) -> int:
+        """Alias of :attr:`client_id` (the report-side naming)."""
+        return self.client_id
 
     @property
     def transactions(self) -> int:

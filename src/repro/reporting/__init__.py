@@ -1,5 +1,9 @@
 """Reporting helpers: ASCII tables, charts, CSV, backend comparisons."""
 
+from repro.reporting.bench import (
+    render_bench_cells,
+    render_bench_comparison,
+)
 from repro.reporting.comparison import (
     BackendRunSummary,
     render_backend_comparison,
@@ -43,4 +47,6 @@ __all__ = [
     "render_scenario_classes",
     "render_scenario_clients",
     "render_scenario_report",
+    "render_bench_cells",
+    "render_bench_comparison",
 ]

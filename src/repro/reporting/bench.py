@@ -1,0 +1,64 @@
+"""Rendering for ``ocb bench``: matrix cell tables, baseline diffs.
+
+Both renderers work on **plain mappings** (the cells of a
+``BENCH_*.json`` document and the row dicts of a comparison), not on
+:mod:`repro.obs.matrix` objects — reporting stays importable from the
+observability layer without a cycle, and a committed baseline file can
+be rendered without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.reporting.tables import render_table
+
+__all__ = ["render_bench_cells", "render_bench_comparison"]
+
+
+def render_bench_cells(cells: Sequence[Mapping[str, object]],
+                       title: Optional[str] = None) -> str:
+    """One row per matrix cell: identity, latency tail, throughput, cost."""
+    rows: List[List[object]] = []
+    for cell in cells:
+        rows.append([
+            cell.get("backend"),
+            cell.get("scenario"),
+            cell.get("clients"),
+            cell.get("mode"),
+            cell.get("operations"),
+            cell.get("throughput"),
+            cell.get("wall_p50_ms"),
+            cell.get("wall_p95_ms"),
+            cell.get("wall_p99_ms"),
+            cell.get("busy_retries"),
+            cell.get("cpu_seconds"),
+            cell.get("peak_rss_kb"),
+        ])
+    return render_table(
+        ["backend", "scenario", "clients", "mode", "ops", "op/s",
+         "P50 (ms)", "P95 (ms)", "P99 (ms)", "busy", "CPU (s)",
+         "peak RSS (kB)"],
+        rows, title=title or "Experiment matrix", precision=3)
+
+
+def render_bench_comparison(rows: Sequence[Mapping[str, object]],
+                            title: Optional[str] = None) -> str:
+    """One row per compared cell: status, throughput drift, problems.
+
+    ``rows`` is the :class:`repro.obs.matrix.ComparisonRow` sequence
+    folded into mappings (``row.__dict__``-shaped: key, status,
+    throughput_ratio, problems).
+    """
+    table: List[List[object]] = []
+    for row in rows:
+        ratio = row.get("throughput_ratio")
+        table.append([
+            row.get("key"),
+            row.get("status"),
+            f"{ratio:.2f}x" if isinstance(ratio, float) else "-",
+            "; ".join(str(p) for p in row.get("problems") or ()) or "-",
+        ])
+    return render_table(
+        ["cell", "status", "throughput vs base", "problems"],
+        table, title=title or "Baseline comparison", precision=3)

@@ -26,7 +26,7 @@ def render_scenario_classes(report: ScenarioReport,
                  f"{report.scenario_name!r} on {report.backend_name!r}")
     return render_table(
         ["class", "n", "objects/op", "t_sim/op (s)", "P50 (ms)",
-         "P95 (ms)", "busy retries"],
+         "P95 (ms)", "P99 (ms)", "busy retries"],
         report.merged_warm.rows(), title=title, precision=3)
 
 

@@ -1,0 +1,223 @@
+"""Experiment matrix: spec round-trip, execution, baseline comparison."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import results
+from repro.obs.matrix import (
+    DEFAULT_SEED,
+    MatrixCell,
+    MatrixSpec,
+    compare_documents,
+    run_matrix,
+    tiny_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def document():
+    """One executed 2-cell matrix, shared by every comparison test."""
+    spec = MatrixSpec(name="test", backends=("simulated", "sqlite"),
+                      scenarios=("read_heavy",), client_counts=(1,),
+                      cold_ops=1, warm_ops=6, monitor_interval=0.01)
+    return run_matrix(spec)
+
+
+class TestSpec:
+    def test_defaults_are_the_tiny_matrix(self):
+        spec = tiny_spec()
+        assert spec.backends == ("simulated", "sqlite")
+        assert spec.seed == DEFAULT_SEED
+        assert len(spec.cells()) == 2
+
+    def test_cells_cross_product_and_keys(self):
+        spec = MatrixSpec(backends=("simulated",),
+                          scenarios=("read_heavy", "write_heavy"),
+                          client_counts=(1, 2))
+        cells = spec.cells()
+        assert len(cells) == 4
+        assert cells[0].key == "simulated/read_heavy/c1/interleaved"
+
+    def test_processes_mode_only_above_one_client(self):
+        assert MatrixCell("sqlite", "read_heavy", 1,
+                          processes=True).mode == "interleaved"
+        assert MatrixCell("sqlite", "read_heavy", 2,
+                          processes=True).mode == "processes"
+
+    def test_dict_round_trip(self):
+        spec = MatrixSpec(name="rt", client_counts=(1, 2), warm_ops=8)
+        assert MatrixSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = MatrixSpec(name="rt")
+        assert MatrixSpec.from_json(json.dumps(spec.to_dict())) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ParameterError, match="bogus"):
+            MatrixSpec.from_dict({"bogus": 1})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParameterError, match="invalid"):
+            MatrixSpec.from_json("{nope")
+        with pytest.raises(ParameterError, match="JSON object"):
+            MatrixSpec.from_json("[1]")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ParameterError, match="scenario"):
+            MatrixSpec(scenarios=("nonexistent",))
+
+    def test_unknown_db_preset_rejected(self):
+        with pytest.raises(ParameterError, match="preset"):
+            MatrixSpec(db_preset="nonexistent")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ParameterError):
+            MatrixSpec(backends=())
+
+    def test_bad_client_count_rejected(self):
+        with pytest.raises(ParameterError, match="client"):
+            MatrixSpec(client_counts=(0,))
+
+
+class TestRunMatrix:
+    def test_document_is_schema_valid(self, document):
+        assert results.validate_document(document) is document
+        assert document["kind"] == "matrix"
+        assert document["config"]["name"] == "test"
+
+    def test_one_cell_per_spec_cell(self, document):
+        keys = [cell["key"] for cell in document["cells"]]
+        assert keys == ["simulated/read_heavy/c1/interleaved",
+                        "sqlite/read_heavy/c1/interleaved"]
+
+    def test_cells_carry_workload_and_resources(self, document):
+        for cell in document["cells"]:
+            assert cell["operations"] == 7  # 1 cold + 6 warm
+            assert cell["throughput"] > 0.0
+            assert cell["wall_p99_ms"] >= cell["wall_p95_ms"] >= 0.0
+            assert cell["peak_rss_kb"] > 0
+            assert cell["cpu_seconds"] >= 0.0
+            assert cell["monitor_samples"] >= 2
+
+    def test_sqlite_cell_counts_round_trips(self, document):
+        by_backend = {cell["backend"]: cell for cell in document["cells"]}
+        assert by_backend["sqlite"]["sql_round_trips"] > 0
+        assert by_backend["simulated"]["sql_round_trips"] == 0
+
+    def test_progress_callback_sees_every_cell(self):
+        spec = MatrixSpec(backends=("simulated",), scenarios=("read_heavy",),
+                          client_counts=(1,), cold_ops=0, warm_ops=2,
+                          monitor_interval=0.01)
+        lines = []
+        run_matrix(spec, progress=lines.append)
+        assert len(lines) == 1
+        assert "simulated/read_heavy/c1" in lines[0]
+
+
+class TestCompare:
+    def test_identical_documents_pass(self, document):
+        comparison = compare_documents(document, document)
+        assert comparison.ok
+        assert [row.status for row in comparison.rows] == ["ok", "ok"]
+        assert all(row.throughput_ratio == pytest.approx(1.0)
+                   for row in comparison.rows)
+        assert "0 regression(s)" in comparison.describe()
+
+    def test_synthetic_slow_baseline_detects_regression(self, document):
+        """A baseline 4x faster than the current run must gate: the
+        current run *is* the regression relative to it."""
+        baseline = copy.deepcopy(document)
+        cell = baseline["cells"][0]
+        cell["throughput"] = cell["throughput"] * 4.0
+        comparison = compare_documents(document, baseline, tolerance=0.5)
+        assert not comparison.ok
+        (regressed,) = comparison.regressions
+        assert regressed.status == "regressed"
+        assert regressed.key == cell["key"]
+        assert any("throughput" in p for p in regressed.problems)
+        assert regressed.throughput_ratio == pytest.approx(0.25)
+
+    def test_p95_blowup_detects_regression(self, document):
+        current = copy.deepcopy(document)
+        current["cells"][1]["wall_p95_ms"] = \
+            document["cells"][1]["wall_p95_ms"] * 10.0 + 1.0
+        comparison = compare_documents(current, document, tolerance=0.5)
+        assert not comparison.ok
+        assert any("P95" in p for row in comparison.regressions
+                   for p in row.problems)
+
+    def test_missing_cell_always_gates(self, document):
+        current = copy.deepcopy(document)
+        del current["cells"][1]
+        comparison = compare_documents(current, document)
+        assert not comparison.ok
+        (missing,) = comparison.regressions
+        assert missing.status == "missing"
+
+    def test_new_cell_never_gates(self, document):
+        current = copy.deepcopy(document)
+        extra = copy.deepcopy(current["cells"][0])
+        extra["key"] = "memory/read_heavy/c1/interleaved"
+        extra["backend"] = "memory"
+        current["cells"].append(extra)
+        comparison = compare_documents(current, document)
+        assert comparison.ok
+        assert sorted(row.status for row in comparison.rows) \
+            == ["new", "ok", "ok"]
+
+    def test_operation_count_drift_always_gates(self, document):
+        current = copy.deepcopy(document)
+        current["cells"][0]["operations"] += 1
+        comparison = compare_documents(current, document, tolerance=100.0)
+        assert not comparison.ok
+        assert any("operations changed" in p
+                   for row in comparison.regressions for p in row.problems)
+
+    def test_negative_tolerance_rejected(self, document):
+        with pytest.raises(ParameterError, match="tolerance"):
+            compare_documents(document, document, tolerance=-0.1)
+
+
+class TestBenchCli:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_compare_against_self_passes(self, document, tmp_path, capsys):
+        from repro.cli import main
+
+        current = self._write(tmp_path / "current.json", document)
+        baseline = self._write(tmp_path / "baseline.json", document)
+        assert main(["bench", "--current", current,
+                     "--compare", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_compare_regression_exits_2(self, document, tmp_path, capsys):
+        from repro.cli import main
+
+        slow = copy.deepcopy(document)
+        for cell in slow["cells"]:
+            cell["throughput"] = cell["throughput"] * 4.0
+        current = self._write(tmp_path / "current.json", document)
+        baseline = self._write(tmp_path / "slow_baseline.json", slow)
+        assert main(["bench", "--current", current,
+                     "--compare", baseline, "--tolerance", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "regress" in err
+
+    def test_bench_json_output(self, document, tmp_path, capsys):
+        from repro.cli import main
+
+        current = self._write(tmp_path / "current.json", document)
+        out_path = tmp_path / "out.json"
+        assert main(["bench", "--current", current, "--json",
+                     "--out", str(out_path)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["kind"] == "matrix"
+        assert results.load_document(str(out_path))["kind"] == "matrix"

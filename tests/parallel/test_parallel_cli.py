@@ -35,8 +35,12 @@ class TestScale:
     def test_sweep_json(self, capsys):
         assert main(["scale", "--workers", "1", "--json"]) == 0
         out = capsys.readouterr().out
-        start = out.index("[")
-        points = json.loads(out[start:])
+        document = json.loads(out[out.index("{"):])
+        assert document["schema_version"] == 1
+        assert document["kind"] == "scale_sweep"
+        assert document["system"]["python"]
+        assert document["config"]["backend"] == "sqlite"
+        points = document["cells"]
         assert len(points) == 1
         point = points[0]
         assert point["workers"] == 1
