@@ -11,6 +11,8 @@ simulated  the Texas-like cost-model store (the default)        simulated
 memory     plain dict, no serialization — the latency floor     wall only
 sqlite     serialized objects in an indexed SQLite table with   wall only
            configurable page/cache pragmas
+sharded-   oid-residue partitioning over N independent SQLite   wall only
+sqlite     files with per-worker home-shard affinity
 ========== ==================================================== ==========
 
 Adding an engine is two steps: subclass
@@ -34,6 +36,7 @@ from repro.backends.registry import (
     register_backend,
     unregister_backend,
 )
+from repro.backends.sharded import ShardedSQLiteBackend
 from repro.backends.simulated import SimulatedBackend
 from repro.backends.sqlite import SQLiteBackend
 from repro.store.storage import StoreConfig
@@ -45,6 +48,7 @@ __all__ = [
     "SimulatedBackend",
     "MemoryBackend",
     "SQLiteBackend",
+    "ShardedSQLiteBackend",
     "available_backends",
     "backend_info",
     "backend_names",
@@ -84,10 +88,30 @@ register_backend(
     "memory", _make_memory,
     "dict-based upper bound (no serialization, wall clock only)",
     overwrite=True)
+def _make_sharded(store_config: StoreConfig, **options: object) -> Backend:
+    path = options.pop("path", None)
+    kwargs = {"page_size": store_config.page_size,
+              "cache_pages": store_config.buffer_pages}
+    if store_config.journal_mode is not None:
+        kwargs["journal_mode"] = store_config.journal_mode
+    if store_config.busy_timeout_ms is not None:
+        kwargs["busy_timeout_ms"] = store_config.busy_timeout_ms
+    kwargs.update(options)  # type: ignore[arg-type]
+    return ShardedSQLiteBackend(
+        path=None if path is None else str(path),
+        **kwargs)  # type: ignore[arg-type]
+
+
 register_backend(
     "sqlite", _make_sqlite,
     "serialized objects in an indexed SQLite table (wall clock only)",
-    capabilities=("batched-reads", "cold-cache", "concurrent"),
+    capabilities=("batched-reads", "cold-cache", "concurrent", "ref_index"),
+    overwrite=True)
+register_backend(
+    "sharded-sqlite", _make_sharded,
+    "oid-residue sharding over N SQLite files (home-shard affinity)",
+    capabilities=("batched-reads", "cold-cache", "concurrent", "sharded",
+                  "ref_index"),
     overwrite=True)
 
 

@@ -45,6 +45,10 @@ KNOWN_CAPABILITIES: Tuple[str, ...] = (
     "cold-cache",      # drop_caches really evicts engine state
     "concurrent",      # connect_worker: shared storage, one connection
                        # per OS process (the parallel subsystem's input)
+    "sharded",         # oid-residue partitioning across independent
+                       # stores with per-worker home-shard affinity
+    "ref_index",       # native link-index traverse_refs_many (whole
+                       # frontier, no record decode)
 )
 
 

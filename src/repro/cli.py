@@ -182,9 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workload RNG seed (default: the "
                                "database seed)")
     scenario.add_argument("--sqlite-path", default=":memory:",
-                          help="database file for --backend sqlite "
+                          help="database file for --backend sqlite, or "
+                               "shard directory for sharded-sqlite "
                                "(default: in-memory; process runs "
-                               "replace ':memory:' with a temp file)")
+                               "replace ':memory:' with a temp path)")
+    scenario.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="shard count for --backend sharded-sqlite "
+                               "(default: the worker count of a process "
+                               "run, else 4)")
     scenario.add_argument("--journal-mode", default="WAL",
                           help="journal mode for shared SQLite files "
                                "(default: WAL)")
@@ -211,9 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="storage engine to drive "
                                 "(default: simulated)")
     multiuser.add_argument("--sqlite-path", default=":memory:",
-                           help="database file for --backend sqlite "
+                           help="database file for --backend sqlite, or "
+                                "shard directory for sharded-sqlite "
                                 "(default: in-memory; process runs "
-                                "replace ':memory:' with a temp file)")
+                                "replace ':memory:' with a temp path)")
+    multiuser.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="shard count for --backend sharded-sqlite "
+                                "(default: the client count)")
     multiuser.add_argument("--processes", type=int, default=None,
                            metavar="N",
                            help="run N clients as real OS processes "
@@ -239,9 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
                        help="worker counts to sweep (default: 1 2 4)")
     scale.add_argument("--sqlite-path", default=":memory:",
-                       help="database file for --backend sqlite "
-                            "(default: one shared temp file loaded once "
+                       help="database file for --backend sqlite, or "
+                            "shard directory for sharded-sqlite "
+                            "(default: one shared temp path loaded once "
                             "and reused across the whole sweep)")
+    scale.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard count for --backend sharded-sqlite, "
+                            "fixed across the sweep (default: the "
+                            "largest worker count)")
     scale.add_argument("--journal-mode", default="WAL",
                        help="journal mode for shared SQLite files "
                             "(default: WAL)")
@@ -259,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--spec", default=None, metavar="FILE",
                        help="JSON MatrixSpec file (default: the built-in "
                             "2-cell tiny matrix)")
+    bench.add_argument("--shard-counts", type=int, nargs="+", default=None,
+                       metavar="N",
+                       help="add a shard axis: run every cell of a "
+                            "'sharded'-capable backend once per count "
+                            "(cell keys gain a /sN segment)")
     bench.add_argument("--out", default=None, metavar="FILE",
                        help="output path (default: BENCH_<date>.json in "
                             "the current directory)")
@@ -375,8 +394,16 @@ def _cmd_generate(args: argparse.Namespace) -> str:
 
 
 def _backend_options(args: argparse.Namespace) -> dict:
-    if getattr(args, "backend", None) == "sqlite":
+    backend = getattr(args, "backend", None)
+    if backend == "sqlite":
         return {"path": args.sqlite_path}
+    if backend == "sharded-sqlite":
+        # ``--sqlite-path`` names the shard *directory* here; the
+        # engine maps ':memory:' to private in-memory shards itself.
+        options: dict = {"path": args.sqlite_path}
+        if getattr(args, "shards", None) is not None:
+            options["shards"] = args.shards
+        return options
     return {}
 
 
@@ -537,9 +564,11 @@ def _cmd_scenario(args: argparse.Namespace) -> str:
         overrides["seed"] = args.seed
     if overrides:
         scenario = replace(scenario, **overrides)
-    if scenario.backend == "sqlite":
+    if scenario.backend in ("sqlite", "sharded-sqlite"):
         options = dict(scenario.backend_options)
         options.setdefault("path", args.sqlite_path)
+        if scenario.backend == "sharded-sqlite" and args.shards is not None:
+            options.setdefault("shards", args.shards)
         options = _shared_sqlite_options(
             options, args.journal_mode, args.busy_timeout,
             for_processes=args.processes is not None)
@@ -588,7 +617,7 @@ def _shared_sqlite_options(options: dict, journal_mode: str,
 def _parallel_options(args: argparse.Namespace) -> dict:
     """Backend options for a process run, through the one shared policy."""
     options = _backend_options(args)
-    if getattr(args, "backend", None) == "sqlite":
+    if getattr(args, "backend", None) in ("sqlite", "sharded-sqlite"):
         return _shared_sqlite_options(options, args.journal_mode,
                                       args.busy_timeout,
                                       for_processes=True)
@@ -608,7 +637,7 @@ def _cmd_multiuser(args: argparse.Namespace) -> str:
     wl_params = replace(wl_params, clients=args.clients)
     database, _report = generate_database(db_params)
     options = _backend_options(args)
-    if args.backend == "sqlite":
+    if args.backend in ("sqlite", "sharded-sqlite"):
         # The journal/busy/synchronous knobs apply on the in-process
         # path too, so the two execution modes benchmark the same
         # engine settings.
@@ -674,8 +703,16 @@ def _cmd_scale(args: argparse.Namespace) -> str:
 
     db_params, wl_params = preset(args.preset)
     database, _report = generate_database(db_params)
+    shards = None
+    if backend_info(args.backend).has_capability("sharded"):
+        # One storage layout for the whole sweep: every point attaches
+        # to the same shard files, so the count cannot follow the
+        # worker count.  ``max(workers)`` keeps the mutation lanes of
+        # every smaller width disjoint (shards is a multiple of each).
+        shards = getattr(args, "shards", None) or max(args.workers)
     config = ParallelConfig(journal_mode=args.journal_mode,
-                            busy_timeout_ms=args.busy_timeout)
+                            busy_timeout_ms=args.busy_timeout,
+                            shards=shards)
     options = _parallel_options(args)
     tempdir = None
     if backend_info(args.backend).has_capability("concurrent") \
@@ -684,7 +721,10 @@ def _cmd_scale(args: argparse.Namespace) -> str:
         # loads it, every later point attaches (after a content check)
         # instead of re-loading the identical read-only database.
         tempdir = tempfile.mkdtemp(prefix="ocb-scale-")
-        options["path"] = os.path.join(tempdir, "shared.db")
+        if backend_info(args.backend).has_capability("sharded"):
+            options["path"] = os.path.join(tempdir, "shards")
+        else:
+            options["path"] = os.path.join(tempdir, "shared.db")
     points = []
     try:
         for workers in args.workers:
@@ -736,6 +776,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"cannot read matrix spec {args.spec!r}: {exc}") from exc
         else:
             spec = tiny_spec()
+        if args.shard_counts is not None:
+            from dataclasses import replace as _replace
+            spec = _replace(spec, shard_counts=tuple(args.shard_counts))
         document = run_matrix(
             spec, progress=lambda line: print(line, file=sys.stderr))
         written = results.write_document(document, path=args.out)

@@ -716,6 +716,9 @@ class ClientScenarioReport:
     write_conflicts: int = 0
     busy_retries: int = 0
     busy_wait_seconds: float = 0.0
+    #: Operations (and traversal frontier edges) a sharded engine routed
+    #: off this client's home shard — 0 on unsharded backends.
+    remote_reads: int = 0
     pid: Optional[int] = None
     wall_seconds: float = 0.0
 
@@ -734,6 +737,7 @@ class ClientScenarioReport:
             "write_conflicts": self.write_conflicts,
             "busy_retries": self.busy_retries,
             "busy_wait_seconds": self.busy_wait_seconds,
+            "remote_reads": self.remote_reads,
             "cold": self.cold.to_dict(),
             "warm": self.warm.to_dict(),
         }
@@ -805,6 +809,12 @@ class ScenarioReport:
         return sum(client.busy_wait_seconds for client in self.clients)
 
     @property
+    def remote_reads(self) -> int:
+        """Shard-crossing reads and frontier edges, summed over clients
+        (0 unless the backend shards the oid space)."""
+        return sum(client.remote_reads for client in self.clients)
+
+    @property
     def read_misses(self) -> int:
         """Tolerated reads of rows deleted by a concurrent client."""
         return sum(client.read_misses for client in self.clients)
@@ -830,6 +840,7 @@ class ScenarioReport:
                 f"{self.elapsed_seconds:.3f} s "
                 f"({self.throughput:.1f} op/s), "
                 f"{self.busy_retries} busy retries, "
+                f"{self.remote_reads} remote reads, "
                 f"{self.write_conflicts} write conflicts")
 
     def to_dict(self) -> dict:
@@ -846,6 +857,7 @@ class ScenarioReport:
             "write_operations": self.write_operations,
             "busy_retries": self.busy_retries,
             "busy_wait_seconds": self.busy_wait_seconds,
+            "remote_reads": self.remote_reads,
             "sql_round_trips": self.sql_round_trips,
             "read_misses": self.read_misses,
             "write_conflicts": self.write_conflicts,
@@ -1411,6 +1423,10 @@ class ScenarioRunner:
             clients[0].busy_retries += int(stats["busy_retries"])
             clients[0].busy_wait_seconds += float(
                 stats.get("busy_wait_seconds", 0.0) or 0.0)
+        if clients and stats.get("remote_reads"):
+            # One shared engine, one (optional) home shard: attribute
+            # the shard-crossing count like the busy counters above.
+            clients[0].remote_reads += int(stats["remote_reads"])
         return ScenarioReport(
             scenario_name=self.mix.name,
             clients=clients,

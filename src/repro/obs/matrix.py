@@ -24,11 +24,12 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.backends.registry import backend_info
 from repro.core.generation import generate_database
 from repro.core.presets import PRESETS, SCENARIO_PRESETS, preset, \
     scenario_preset
 from repro.core.scenario import ScenarioReport, ScenarioRunner
-from repro.errors import ParameterError
+from repro.errors import BackendError, ParameterError
 from repro.obs import results
 from repro.obs.monitor import ResourceMonitor
 from repro.parallel.spec import ParallelConfig
@@ -57,6 +58,10 @@ class MatrixCell:
     scenario: str
     clients: int
     processes: bool = False
+    #: Shard count for engines with the ``sharded`` capability; ``None``
+    #: for single-store engines (and absent from their keys, so existing
+    #: baselines keep matching).
+    shards: Optional[int] = None
 
     @property
     def mode(self) -> str:
@@ -67,7 +72,11 @@ class MatrixCell:
     @property
     def key(self) -> str:
         """The identity cells are matched on across documents."""
-        return f"{self.backend}/{self.scenario}/c{self.clients}/{self.mode}"
+        if self.shards is None:
+            return (f"{self.backend}/{self.scenario}"
+                    f"/c{self.clients}/{self.mode}")
+        return (f"{self.backend}/{self.scenario}/c{self.clients}"
+                f"/s{self.shards}/{self.mode}")
 
 
 @dataclass(frozen=True)
@@ -85,12 +94,18 @@ class MatrixSpec:
     warm_ops: int = 12
     seed: int = DEFAULT_SEED
     monitor_interval: float = 0.02
+    #: Shard-count axis: engines with the ``sharded`` capability get one
+    #: cell per count (key gains a ``/sN`` segment); single-store
+    #: engines ignore the axis and keep their one cell.  Empty = off.
+    shard_counts: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backends", tuple(self.backends))
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "client_counts",
                            tuple(int(c) for c in self.client_counts))
+        object.__setattr__(self, "shard_counts",
+                           tuple(int(s) for s in self.shard_counts))
         if not self.backends or not self.scenarios or not self.client_counts:
             raise ParameterError(
                 "a MatrixSpec needs >= 1 backend, scenario and client count")
@@ -105,16 +120,33 @@ class MatrixSpec:
                 f"{sorted(PRESETS)}")
         if any(clients < 1 for clients in self.client_counts):
             raise ParameterError("client counts must be >= 1")
+        if any(shards < 1 for shards in self.shard_counts):
+            raise ParameterError("shard counts must be >= 1")
         if self.cold_ops < 0 or self.warm_ops < 1:
             raise ParameterError("need cold_ops >= 0 and warm_ops >= 1")
 
+    @staticmethod
+    def _shardable(backend: str) -> bool:
+        try:
+            return backend_info(backend).has_capability("sharded")
+        except BackendError:
+            return False  # Unknown names fail later, at run time.
+
     def cells(self) -> List[MatrixCell]:
-        """Every cell, in deterministic backend/scenario/clients order."""
-        return [MatrixCell(backend=backend, scenario=scenario,
-                           clients=clients, processes=self.processes)
-                for backend in self.backends
+        """Every cell, in backend/scenario/clients/shards order."""
+        cells = []
+        for backend in self.backends:
+            shard_axis: Tuple[Optional[int], ...] = (None,)
+            if self.shard_counts and self._shardable(backend):
+                shard_axis = self.shard_counts
+            cells.extend(
+                MatrixCell(backend=backend, scenario=scenario,
+                           clients=clients, processes=self.processes,
+                           shards=shards)
                 for scenario in self.scenarios
-                for clients in self.client_counts]
+                for clients in self.client_counts
+                for shards in shard_axis)
+        return cells
 
     def to_dict(self) -> dict:
         """JSON-ready mapping (stored as the document's ``config``)."""
@@ -129,6 +161,7 @@ class MatrixSpec:
             "warm_ops": self.warm_ops,
             "seed": self.seed,
             "monitor_interval": self.monitor_interval,
+            "shard_counts": list(self.shard_counts),
         }
 
     @classmethod
@@ -182,6 +215,7 @@ def _cell_dict(cell: MatrixCell, report: ScenarioReport,
         "backend": cell.backend,
         "scenario": cell.scenario,
         "clients": cell.clients,
+        "shards": cell.shards,
         "mode": report.mode,
         "executed_parallel": report.executed_parallel,
         "operations": report.total_operations,
@@ -193,6 +227,7 @@ def _cell_dict(cell: MatrixCell, report: ScenarioReport,
         "wall_p99_ms": warm.p99 * 1e3,
         "busy_retries": report.busy_retries,
         "busy_wait_seconds": report.busy_wait_seconds,
+        "remote_reads": report.remote_reads,
         "read_misses": report.read_misses,
         "write_conflicts": report.write_conflicts,
         "sql_round_trips": report.sql_round_trips,
@@ -223,16 +258,21 @@ def run_matrix(spec: MatrixSpec,
         # gets a pristine deep copy so cells cannot contaminate each other.
         database = copy.deepcopy(pristine)
         scenario = scenario_preset(cell.scenario)
+        backend_options = dict(scenario.backend_options)
+        if cell.shards is not None:
+            backend_options["shards"] = cell.shards
         scenario = replace(scenario, backend=cell.backend,
                            clients=cell.clients, cold_ops=spec.cold_ops,
-                           warm_ops=spec.warm_ops, seed=spec.seed)
+                           warm_ops=spec.warm_ops, seed=spec.seed,
+                           backend_options=backend_options)
         runner = ScenarioRunner(database, scenario)
         monitor = ResourceMonitor(interval=spec.monitor_interval)
         monitor.start()
         try:
             if cell.processes and cell.clients > 1:
                 config = ParallelConfig(monitor=True,
-                                        monitor_interval=spec.monitor_interval)
+                                        monitor_interval=spec.monitor_interval,
+                                        shards=cell.shards)
                 report = runner.run_processes(config=config)
             else:
                 report = runner.run()

@@ -45,10 +45,12 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: Document kinds the schema knows.  ``matrix`` is the ``ocb bench``
-#: experiment matrix; the other three are the unified shapes of the
+#: experiment matrix; ``shard_scaling`` is the sharded-vs-single-file
+#: write-throughput curve of ``bench_parallel.py --backend
+#: sharded-sqlite``; the other three are the unified shapes of the
 #: pre-existing harnesses.
 KINDS = ("matrix", "scale_sweep", "parallel_scaling",
-         "scenario_contention")
+         "scenario_contention", "shard_scaling")
 
 #: Keys every ``system`` mapping must carry.
 _SYSTEM_KEYS = ("git_rev", "platform", "python", "cpu_count", "hostname")

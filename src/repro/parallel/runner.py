@@ -25,11 +25,13 @@ Two execution modes, chosen per backend:
 
 from __future__ import annotations
 
+import contextlib
 import os
 import shutil
 import tempfile
 import time
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Iterator, List, Dict, Optional
 
 from repro.backends import create_backend
 from repro.backends.registry import backend_info
@@ -40,9 +42,10 @@ from repro.parallel.pool import ProcessPool
 from repro.parallel.report import ParallelReport
 from repro.parallel.spec import ParallelConfig, WorkerSpec
 from repro.parallel.worker import run_worker
+from repro.store.serializer import StoredObject
 from repro.store.storage import StoreConfig
 
-__all__ = ["ParallelRunner"]
+__all__ = ["ParallelRunner", "ShardLoadTask", "load_shard"]
 
 
 def _backend_capabilities(name: str) -> tuple:
@@ -50,6 +53,40 @@ def _backend_capabilities(name: str) -> tuple:
         return backend_info(name).capabilities
     except BackendError as exc:
         raise WorkloadError(str(exc)) from exc
+
+
+@dataclass
+class ShardLoadTask:
+    """One shard file's picklable bulk-load job (coordinator fan-out)."""
+
+    path: str
+    records: List[StoredObject] = field(default_factory=list)
+    page_size: int = 4096
+    cache_pages: int = 128
+    synchronous: str = "NORMAL"
+    journal_mode: str = "WAL"
+    busy_timeout_ms: int = 5000
+    ref_index: bool = True
+
+
+def load_shard(task: ShardLoadTask) -> int:
+    """Bulk-load one shard file; module-level so every start method can
+    ship it to a child process.  Returns the shard's object count."""
+    from repro.backends.sqlite import SQLiteBackend
+
+    engine = SQLiteBackend(path=task.path,
+                           page_size=task.page_size,
+                           cache_pages=task.cache_pages,
+                           synchronous=task.synchronous,
+                           journal_mode=task.journal_mode,
+                           busy_timeout_ms=task.busy_timeout_ms,
+                           ref_index=task.ref_index)
+    try:
+        if engine.object_count == 0:
+            engine.bulk_load(task.records)
+        return engine.object_count
+    finally:
+        engine.close()
 
 
 class ParallelRunner:
@@ -88,8 +125,24 @@ class ParallelRunner:
         #: classic read-only transaction protocol.
         self.mix = mix
         path = self.backend_options.get("path")
-        self.shared = ("concurrent" in _backend_capabilities(self.backend)
-                       and path != ":memory:")
+        capabilities = _backend_capabilities(self.backend)
+        self.shared = ("concurrent" in capabilities and path != ":memory:")
+        #: Whether the engine partitions the oid space across shards —
+        #: shard count and per-worker home shards only apply then.
+        self.sharded = "sharded" in capabilities
+        if self.config.shards is not None and not self.sharded:
+            raise WorkloadError(
+                f"ParallelConfig.shards={self.config.shards} was set but "
+                f"backend {self.backend!r} does not have the 'sharded' "
+                f"capability; drop the knob or pick a sharded engine")
+        self.shard_count: Optional[int] = None
+        if self.sharded:
+            # Default to shards == workers: each worker's mutation lane
+            # (``oid % clients``) is then exactly its home shard, the
+            # alignment that collapses write contention.
+            explicit = self.backend_options.get("shards")
+            self.shard_count = int(explicit or self.config.shards
+                                   or parameters.clients)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -97,17 +150,8 @@ class ParallelRunner:
 
     def run(self) -> ParallelReport:
         """Load, spawn, execute, merge."""
-        tempdir: Optional[str] = None
-        options = dict(self.backend_options)
-        try:
+        with self._storage_options() as options:
             if self.shared:
-                if not options.get("path"):
-                    tempdir = tempfile.mkdtemp(prefix="ocb-parallel-")
-                    options["path"] = os.path.join(tempdir, "shared.db")
-                options.setdefault("journal_mode", self.config.journal_mode)
-                options.setdefault("busy_timeout_ms",
-                                   self.config.busy_timeout_ms)
-                options.setdefault("synchronous", self.config.synchronous)
                 self._load_shared(options)
             specs = [WorkerSpec(client_id=client,
                                 database=self.database,
@@ -119,7 +163,8 @@ class ParallelRunner:
                                 batch=self.batch,
                                 mix=self.mix,
                                 monitor=self.config.monitor,
-                                monitor_interval=self.config.monitor_interval)
+                                monitor_interval=self.config.monitor_interval,
+                                home_shard=self._home_shard(client))
                      for client in range(self.parameters.clients)]
             pool = ProcessPool(
                 processes=self.config.max_workers or len(specs),
@@ -128,9 +173,6 @@ class ParallelRunner:
             started = time.perf_counter()
             results = pool.map(run_worker, specs)
             elapsed = time.perf_counter() - started
-        finally:
-            if tempdir is not None:
-                shutil.rmtree(tempdir, ignore_errors=True)
         results.sort(key=lambda result: result.client_id)
         return ParallelReport(
             workers=results,
@@ -138,6 +180,44 @@ class ParallelRunner:
             mode="shared" if self.shared else "replicated",
             elapsed_seconds=elapsed,
             executed_parallel=pool.executed_parallel)
+
+    @contextlib.contextmanager
+    def _storage_options(self) -> Iterator[Dict[str, object]]:
+        """Resolve this run's backend options; guarantee temp cleanup.
+
+        When the caller supplied no storage path, the shared database
+        (or shard directory) lives in a fresh temp directory for the
+        duration of the run.  The context form is what makes teardown
+        unconditional: a worker that crashes — or a pool that breaks —
+        propagates through ``run()``'s body, and the directory is still
+        removed on the way out instead of leaking.
+        """
+        options = dict(self.backend_options)
+        tempdir: Optional[str] = None
+        try:
+            if self.shared:
+                if self.sharded:
+                    options["shards"] = self.shard_count
+                if not options.get("path"):
+                    tempdir = tempfile.mkdtemp(prefix="ocb-parallel-")
+                    options["path"] = (
+                        os.path.join(tempdir, "shards") if self.sharded
+                        else os.path.join(tempdir, "shared.db"))
+                options.setdefault("journal_mode", self.config.journal_mode)
+                options.setdefault("busy_timeout_ms",
+                                   self.config.busy_timeout_ms)
+                options.setdefault("synchronous", self.config.synchronous)
+            yield options
+        finally:
+            if tempdir is not None:
+                shutil.rmtree(tempdir, ignore_errors=True)
+
+    def _home_shard(self, client: int) -> Optional[int]:
+        """The affinity shard of *client* — its mutation lane's residue
+        class — on a shared sharded engine; ``None`` otherwise."""
+        if not (self.sharded and self.shared and self.shard_count):
+            return None
+        return client % self.shard_count
 
     def _load_shared(self, options: Dict[str, object]) -> None:
         """Bulk-load the shared storage, validate the contract, disconnect.
@@ -160,7 +240,10 @@ class ParallelRunner:
                     f"declare supports_concurrent_access; fix the "
                     f"registration or implement connect_worker")
             if engine.object_count == 0:
-                self.database.load_into(engine)
+                if self.sharded and getattr(engine, "shards", 1) > 1:
+                    self._load_shards_parallel(engine)
+                else:
+                    self.database.load_into(engine)
             elif engine.object_count != self.database.num_objects:
                 raise WorkloadError(
                     f"shared storage at {options.get('path')!r} holds "
@@ -175,6 +258,39 @@ class ParallelRunner:
             probe.close()
         finally:
             engine.close()
+
+    def _load_shards_parallel(self, engine) -> None:
+        """Bulk-load the shard files concurrently, one process per shard.
+
+        The coordinator partitions the serialized records by the
+        engine's own shard function and ships one
+        :class:`ShardLoadTask` per shard through the same
+        :class:`ProcessPool` the workers will use (honest sequential
+        fallback included), so load time scales with the slowest shard
+        instead of the whole database.
+        """
+        records = self.database.to_records()
+        partitions: List[List[StoredObject]] = [[] for _ in
+                                                range(engine.shards)]
+        for oid in sorted(records):
+            partitions[engine.shard_of(oid)].append(records[oid])
+        tasks = [ShardLoadTask(path=engine.shard_path(shard),
+                               records=partitions[shard],
+                               page_size=engine.page_size,
+                               cache_pages=engine.cache_pages,
+                               synchronous=engine.synchronous,
+                               journal_mode=engine.journal_mode,
+                               busy_timeout_ms=engine.busy_timeout_ms,
+                               ref_index=engine.ref_index)
+                 for shard in range(engine.shards)]
+        pool = ProcessPool(processes=len(tasks),
+                           start_method=self.config.start_method,
+                           parallel=self.config.parallel)
+        loaded = sum(pool.map(load_shard, tasks))
+        if loaded != self.database.num_objects:
+            raise WorkloadError(
+                f"parallel shard load stored {loaded} objects but the "
+                f"database has {self.database.num_objects}")
 
     #: Records spot-checked when attaching to pre-existing storage.
     _CONTENT_SAMPLE = 16

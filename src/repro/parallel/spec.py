@@ -62,6 +62,12 @@ class ParallelConfig:
     monitor: bool = False
     #: Sampling period (seconds) of the per-worker monitors.
     monitor_interval: float = 0.05
+    #: Shard count for engines with the ``sharded`` capability: the
+    #: coordinator partitions storage into this many files and assigns
+    #: every worker the home shard of its mutation lane
+    #: (``client_id % shards``).  ``None`` keeps the engine's default;
+    #: setting it for a non-sharded backend is refused loudly.
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.busy_timeout_ms < 0:
@@ -77,6 +83,9 @@ class ParallelConfig:
         if self.monitor_interval <= 0.0:
             raise ParameterError(
                 f"monitor_interval must be > 0, got {self.monitor_interval}")
+        if self.shards is not None and self.shards < 1:
+            raise ParameterError(
+                f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass
@@ -106,11 +115,21 @@ class WorkerSpec:
     #: ship the usage back on the result.
     monitor: bool = False
     monitor_interval: float = 0.05
+    #: Affinity shard of this worker on a sharded engine
+    #: (``client_id % shards`` — the residue class its mutation lane
+    #: lives in).  ``None`` for non-sharded backends; injected into the
+    #: backend options when the worker reconnects on its side of the
+    #: fork, so the engine opens its connection set home-shard-first
+    #: and accounts ``remote_reads`` / ``remote_writes``.
+    home_shard: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
             raise ParameterError(
                 f"client_id must be >= 0, got {self.client_id}")
+        if self.home_shard is not None and self.home_shard < 0:
+            raise ParameterError(
+                f"home_shard must be >= 0, got {self.home_shard}")
 
 
 @dataclass

@@ -66,10 +66,15 @@ def run_worker(spec: WorkerSpec) -> WorkerResult:
 
 def _run_worker(spec: WorkerSpec) -> WorkerResult:
     setup_start = time.perf_counter()
+    backend_options = dict(spec.backend_options)
+    if spec.home_shard is not None:
+        # Sharded engines open this worker's connection set home-shard
+        # first and account remote_reads/remote_writes against it.
+        backend_options.setdefault("home_shard", spec.home_shard)
     session = Session.for_database(
         spec.database, spec.backend,
         store_config=spec.store_config,
-        backend_options=dict(spec.backend_options),
+        backend_options=backend_options,
         batch=spec.batch,
         load=not spec.shared)
     if trace.enabled:
@@ -121,6 +126,8 @@ def _run_worker(spec: WorkerSpec) -> WorkerResult:
     if scenario_report is not None:
         scenario_report.busy_retries = busy_retries
         scenario_report.busy_wait_seconds = busy_wait
+        scenario_report.remote_reads = int(
+            stats.get("remote_reads", 0) or 0)
     return WorkerResult(
         client_id=spec.client_id,
         pid=os.getpid(),

@@ -14,6 +14,7 @@ import pytest
 from repro.backends import (
     Backend,
     MemoryBackend,
+    ShardedSQLiteBackend,
     SimulatedBackend,
     SQLiteBackend,
 )
@@ -24,6 +25,8 @@ BACKEND_FACTORIES: Dict[str, Callable[[], Backend]] = {
         store_config=StoreConfig(page_size=512, buffer_pages=16)),
     "memory": MemoryBackend,
     "sqlite": lambda: SQLiteBackend(page_size=512, cache_pages=16),
+    "sharded-sqlite": lambda: ShardedSQLiteBackend(
+        shards=3, page_size=512, cache_pages=16),
 }
 
 

@@ -12,7 +12,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.backends import MemoryBackend, SimulatedBackend, SQLiteBackend
+from repro.backends import (
+    MemoryBackend,
+    ShardedSQLiteBackend,
+    SimulatedBackend,
+    SQLiteBackend,
+)
 from repro.store.serializer import StoredObject
 from repro.store.storage import StoreConfig
 
@@ -21,6 +26,8 @@ BACKEND_FACTORIES = {
         store_config=StoreConfig(page_size=512, buffer_pages=8)),
     "memory": MemoryBackend,
     "sqlite": lambda: SQLiteBackend(page_size=512, cache_pages=8),
+    "sharded-sqlite": lambda: ShardedSQLiteBackend(
+        shards=3, page_size=512, cache_pages=8),
 }
 
 

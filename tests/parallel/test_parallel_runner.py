@@ -37,6 +37,17 @@ def parallel_database():
     return database
 
 
+def _exit_hard(spec):
+    """Worker body that dies without reporting (see crash-cleanup test)."""
+    import multiprocessing
+
+    if multiprocessing.parent_process() is None:
+        # Sequential fallback: we ARE the test process — fail loudly
+        # instead of killing pytest.
+        raise RuntimeError("worker failure (sequential fallback)")
+    os._exit(13)
+
+
 def _logical_signature(reports):
     """Per-client logical metrics, phase by phase, kind by kind."""
     signature = []
@@ -141,6 +152,45 @@ class TestExecutionModes:
         after = set(glob.glob(os.path.join(tempfile.gettempdir(),
                                            "ocb-parallel-*")))
         assert after == before
+
+    def test_dead_worker_does_not_leak_temp_storage(self, parallel_database,
+                                                    monkeypatch):
+        """A worker killed mid-run still tears the temp directory down.
+
+        The temp shared-storage directory is managed by a context
+        manager around the whole load/spawn/execute body, so even a
+        broken pool — here every worker ``os._exit``\\ s before
+        reporting — unwinds through the cleanup instead of leaking
+        ``ocb-parallel-*`` directories.
+        """
+        import multiprocessing
+        import tempfile
+
+        from repro.parallel import runner as runner_module
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        created = []
+        real_mkdtemp = tempfile.mkdtemp
+
+        def capturing_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(runner_module.tempfile, "mkdtemp",
+                            capturing_mkdtemp)
+        # Forked children inherit the patched module, so every worker
+        # dies without ever returning a result.
+        monkeypatch.setattr(runner_module, "run_worker", _exit_hard)
+        runner = ParallelRunner(
+            parallel_database, "sqlite", PARAMS,
+            config=ParallelConfig(busy_timeout_ms=2000,
+                                  start_method="fork"))
+        with pytest.raises(Exception):
+            runner.run()
+        assert len(created) == 1
+        assert not os.path.exists(created[0])
 
     def test_memory_path_falls_back_to_replicated(self, parallel_database):
         report = ParallelRunner(

@@ -1,0 +1,122 @@
+"""Shard affinity's proof: aligned lanes never collide, never leave home.
+
+The tentpole guarantee of the sharded engine — run with
+``shards == clients`` on a reference-free database and a partitioned
+update-only mix, every worker's mutation lane (``oid % clients``) *is*
+its home shard, so:
+
+* ``remote_writes == 0`` for every worker — no mutation ever routed to
+  a file another worker writes;
+* ``busy_retries == 0`` — with disjoint writer lanes there is no lock
+  to collide on, deterministically, not just on a quiet host;
+* misaligning the shard count (``shards != clients``) makes the same
+  counters fire, which proves the accounting measures placement rather
+  than always reading zero.
+
+The cross-backend throughput story lives in
+``benchmarks/bench_parallel.py``; these tests pin the invariants that
+hold on any host, single-core included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generation import generate_database
+from repro.core.parameters import DatabaseParameters, WorkloadParameters
+from repro.core.scenario import MixEntry, WorkloadMix
+from repro.parallel import ParallelConfig
+from repro.parallel.runner import ParallelRunner
+
+CLIENTS = 3
+COLD_OPS = 2
+WARM_OPS = 30
+
+#: Update-only and reference-free: every operation reads and rewrites
+#: exactly one object of the worker's own lane — the fully partitioned
+#: write workload the shard function is aligned with.
+UPDATE_ONLY = WorkloadMix(name="update_only",
+                          entries=(MixEntry("update", weight=1.0),))
+
+
+def make_database():
+    params = DatabaseParameters(num_classes=6, max_nref=0, base_size=25,
+                                num_objects=240, num_ref_types=4, seed=1998)
+    database, _ = generate_database(params, validate=True)
+    return database
+
+
+def run_sharded(shards):
+    runner = ParallelRunner(
+        make_database(), "sharded-sqlite",
+        WorkloadParameters(cold_n=COLD_OPS, hot_n=WARM_OPS,
+                           clients=CLIENTS, seed=1998),
+        config=ParallelConfig(busy_timeout_ms=10000, shards=shards),
+        backend_options={"ref_index": False},
+        mix=UPDATE_ONLY)
+    assert runner.shard_count == shards
+    return runner.run()
+
+
+@pytest.fixture(scope="module")
+def aligned_report():
+    return run_sharded(shards=CLIENTS)
+
+
+@pytest.fixture(scope="module")
+def misaligned_report():
+    return run_sharded(shards=CLIENTS + 1)
+
+
+class TestAlignedLanes:
+    def test_full_protocol_ran(self, aligned_report):
+        assert aligned_report.worker_count == CLIENTS
+        assert aligned_report.mode == "shared"
+        for worker in aligned_report.workers:
+            assert worker.scenario_report is not None
+            assert worker.scenario_report.operations == \
+                COLD_OPS + WARM_OPS
+            updates = worker.scenario_report.warm.per_class.get("update")
+            assert updates is not None and updates.count > 0
+
+    def test_every_worker_homed_on_its_lane(self, aligned_report):
+        for worker in aligned_report.workers:
+            stats = worker.backend_stats or {}
+            assert stats.get("shards") == CLIENTS
+            assert stats.get("home_shard") == worker.client_id % CLIENTS
+
+    def test_zero_cross_shard_writes(self, aligned_report):
+        for worker in aligned_report.workers:
+            stats = worker.backend_stats or {}
+            assert int(stats.get("remote_writes", -1)) == 0
+            assert int(stats.get("remote_reads", -1)) == 0
+
+    def test_zero_lock_collisions(self, aligned_report):
+        # Deterministic, not probabilistic: disjoint writer lanes mean
+        # no two workers ever hold the same shard's write lock.
+        assert aligned_report.busy_retries == 0
+        assert aligned_report.busy_wait_seconds == 0.0
+
+
+class TestMisalignedLanes:
+    def test_counters_fire_when_lanes_cross_shards(self, misaligned_report):
+        # Lanes are oid % 3 but shards are oid % 4: most of each lane
+        # lives off its worker's home shard, and the accounting says so.
+        total_remote = sum(
+            int((worker.backend_stats or {}).get("remote_writes", 0))
+            for worker in misaligned_report.workers)
+        assert total_remote > 0
+
+    def test_logical_work_unchanged(self, aligned_report, misaligned_report):
+        # Shard placement is physical only: the logical operation stream
+        # per client is identical whatever the shard count.
+        def signature(report):
+            return tuple(
+                (worker.client_id,
+                 worker.scenario_report.operations,
+                 tuple((op_class, stats.count, stats.objects)
+                       for op_class, stats in
+                       sorted(worker.scenario_report.warm.per_class.items())))
+                for worker in report.workers)
+
+        assert signature(aligned_report) == signature(misaligned_report)
