@@ -1,0 +1,105 @@
+"""Open-loop load benchmark: latency vs offered rate with DES validation.
+
+The observability companion to ``bench_scenarios.py`` — one generated
+database, the ``mixed_oltp`` scenario on the memory engine, swept
+across three offered arrival rates by the open-loop driver
+(:mod:`repro.core.loadgen`).  Each rate reports achieved throughput,
+the response/service latency split from the coordinated-omission-
+correct collector, the late-start backlog, and the DES-predicted wait
+next to the measured one; the sweep lands as one schema-versioned
+``load_sweep`` document (the unified :mod:`repro.obs.results` shape,
+regression-gated against ``BENCH_loadtest_baseline.json`` by the
+CI-facing ``ocb loadtest --compare`` path).
+
+Runs as a plain pytest module (no pytest-benchmark required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_loadtest.py -q
+
+Note: wall-clock latency depends on the host — assertions pin the
+*structure* (every rate measured, predictions present, percentiles
+ordered), never a specific millisecond value.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+try:
+    from conftest import term_print
+except ImportError:
+    def term_print(*args, **kwargs):
+        print(*args, **kwargs)
+
+from repro.core.generation import generate_database
+from repro.core.loadgen import run_load_sweep
+from repro.core.presets import default_database_parameters, scenario_preset
+from repro.reporting import render_load_report
+
+#: Scaled-down database; fixed arrivals so the realized rate is exact.
+DB_SCALE = 0.1
+SEED = 19980323  # EDBT '98.
+RATES = (100.0, 400.0, 1600.0)
+OPERATIONS = 60
+ARRIVAL_MODE = "fixed"
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    database, _ = generate_database(
+        default_database_parameters(scale=DB_SCALE, seed=SEED))
+    scenario = replace(scenario_preset("mixed_oltp"), backend="memory",
+                       seed=SEED)
+    return run_load_sweep(database, scenario, rates=list(RATES),
+                          operations=OPERATIONS, mode=ARRIVAL_MODE,
+                          seed=SEED)
+
+
+def test_sweep_table_and_json(sweep):
+    from repro.obs import results
+    document = results.build_document(
+        kind="load_sweep",
+        cells=sweep["cells"],
+        config={"db_scale": DB_SCALE, "seed": SEED,
+                "rates": list(RATES), "operations": OPERATIONS,
+                "arrival_mode": ARRIVAL_MODE, "scenario": "mixed_oltp",
+                "knee": sweep["knee"]},
+        name="bench_loadtest")
+    term_print(render_load_report(document))
+    term_print(json.dumps(document, indent=2))
+    assert results.validate_document(document) is document
+
+
+def test_every_rate_was_measured(sweep):
+    cells = sweep["cells"]
+    assert [cell["offered_rate"] for cell in cells] == list(RATES)
+    for cell in cells:
+        assert cell["operations"] == OPERATIONS
+        assert cell["throughput"] > 0.0
+        assert cell["elapsed_seconds"] > 0.0
+
+
+def test_percentiles_are_ordered_within_every_cell(sweep):
+    for cell in sweep["cells"]:
+        assert cell["response_p50_ms"] <= cell["response_p95_ms"] \
+            <= cell["response_p99_ms"] <= cell["response_p999_ms"]
+        assert cell["service_p50_ms"] <= cell["service_p95_ms"]
+        # Response includes queueing; it can never undercut service.
+        assert cell["response_p95_ms"] >= cell["service_p95_ms"] * 0.99
+
+
+def test_des_prediction_lands_in_every_cell(sweep):
+    for cell in sweep["cells"]:
+        assert cell["predicted_wait_mean_ms"] >= 0.0
+        assert cell["predicted_throughput"] > 0.0
+        assert 0.0 <= cell["predicted_utilization"] <= 1.0
+
+
+def test_low_rate_tracks_offered_load(sweep):
+    """The memory engine must keep up at 100 op/s: achieved throughput
+    within the knee-detector's own divergence band."""
+    low = sweep["cells"][0]
+    assert low["throughput"] >= low["offered_rate"] * (1.0 - 0.10)
+    assert not low["saturated"]

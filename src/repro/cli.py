@@ -21,6 +21,13 @@ Subcommands::
                                   matrix, persist BENCH_<date>.json and
                                   optionally --compare BASELINE.json
                                   (exit code 2 on regression)
+    ocb loadtest  [NAME]          open-loop offered-rate sweep against a
+                                  scenario (--rate A,B,C): coordinated-
+                                  omission-correct response vs service
+                                  latency, saturation-knee detection,
+                                  DES predicted-vs-measured waits;
+                                  persists a load_sweep document with
+                                  the same --compare regression gate
     ocb tables --id {1,2,3}       print the paper's parameter tables
     ocb fig4                      reproduce Figure 4 (creation time)
     ocb table4                    reproduce Table 4 (DSTC-CluB vs OCB)
@@ -296,6 +303,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream per-operation trace records to a "
                             "JSONL file (summary on stderr)")
 
+    loadtest = sub.add_parser(
+        "loadtest", help="open-loop offered-rate sweep against a "
+                         "scenario: coordinated-omission-correct "
+                         "latency, saturation knee, DES-predicted "
+                         "waits (persists a load_sweep document)")
+    loadtest.add_argument("name", nargs="?", default="mixed_oltp",
+                          metavar="NAME|SPEC.json",
+                          help="scenario preset name or JSON spec file "
+                               "(default: mixed_oltp)")
+    loadtest.add_argument("--rate", nargs="+", default=["25,100,400"],
+                          metavar="A[,B,...]",
+                          help="offered arrival rates in op/s, space- or "
+                               "comma-separated (default: 25,100,400)")
+    loadtest.add_argument("--ops", type=int, default=None, metavar="N",
+                          help="paced arrivals per rate (default: the "
+                               "scenario's warm-phase size)")
+    loadtest.add_argument("--arrivals", default="poisson",
+                          choices=("poisson", "fixed"),
+                          help="arrival process (default: poisson)")
+    loadtest.add_argument("--preset", default="default-small",
+                          choices=sorted(PRESETS),
+                          help="database preset generating the object "
+                               "graph (default: default-small)")
+    loadtest.add_argument("--backend", default=None,
+                          choices=backend_names(),
+                          help="override the scenario's storage engine")
+    loadtest.add_argument("--clients", type=int, default=None,
+                          help="override the scenario's client count "
+                               "(the offered rate splits across lanes)")
+    loadtest.add_argument("--seed", type=int, default=None,
+                          help="arrival + workload RNG seed (default: "
+                               "the scenario seed)")
+    loadtest.add_argument("--sqlite-path", default=":memory:",
+                          help="database file for --backend sqlite "
+                               "(default: in-memory)")
+    loadtest.add_argument("--journal-mode", default="WAL",
+                          help="journal mode for SQLite (default: WAL)")
+    loadtest.add_argument("--busy-timeout", type=int, default=5000,
+                          metavar="MS",
+                          help="SQLite busy budget in ms (default: 5000)")
+    loadtest.add_argument("--divergence", type=float, default=0.10,
+                          help="knee gate: achieved throughput this far "
+                               "below offered saturates (default: 0.10)")
+    loadtest.add_argument("--blowup", type=float, default=3.0,
+                          help="knee gate: response P95 beyond this "
+                               "multiple of the lowest-rate baseline "
+                               "saturates (default: 3.0)")
+    loadtest.add_argument("--no-predict", action="store_true",
+                          help="skip the DES predicted-wait replay")
+    loadtest.add_argument("--out", default=None, metavar="FILE",
+                          help="output path (default: BENCH_<date>.json "
+                               "in the current directory)")
+    loadtest.add_argument("--current", default=None, metavar="FILE",
+                          help="render/compare an existing load_sweep "
+                               "document instead of running the sweep")
+    loadtest.add_argument("--compare", default=None, metavar="BASELINE",
+                          help="diff against a committed load_sweep "
+                               "document; exit code 2 on regression")
+    loadtest.add_argument("--tolerance", type=float, default=0.5,
+                          help="relative tolerance band for the perf "
+                               "gates (default: 0.5 = 50%%)")
+    loadtest.add_argument("--json", action="store_true",
+                          help="print the document to stdout as well")
+    loadtest.add_argument("--trace", default=None, metavar="FILE",
+                          help="stream per-operation trace records "
+                               "(loadgen.arrival / loadgen.late_start "
+                               "spans included) to a JSONL file")
+
     tables = sub.add_parser("tables", help="print the paper's parameter tables")
     tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
 
@@ -507,12 +582,10 @@ def _cmd_ops(args: argparse.Namespace) -> str:
 
 def _cmd_scenario(args: argparse.Namespace) -> str:
     import json
-    import os
     from dataclasses import replace
 
     from repro.core.presets import SCENARIO_PRESETS, scenario_preset
-    from repro.core.scenario import Scenario, ScenarioRunner
-    from repro.errors import ParameterError
+    from repro.core.scenario import ScenarioRunner
     from repro.parallel import ParallelConfig
     from repro.reporting import render_scenario_report
 
@@ -535,19 +608,7 @@ def _cmd_scenario(args: argparse.Namespace) -> str:
                               "spec file"])
         return listing
 
-    # Preset names win; only non-preset arguments are treated as spec
-    # files (a stray file in the cwd must never shadow a preset).
-    if args.name.strip().lower() in SCENARIO_PRESETS:
-        scenario = scenario_preset(args.name)
-    elif args.name.endswith(".json") or os.path.exists(args.name):
-        try:
-            with open(args.name, "r", encoding="utf-8") as handle:
-                scenario = Scenario.from_json(handle.read())
-        except OSError as exc:
-            raise ParameterError(
-                f"cannot read scenario spec {args.name!r}: {exc}") from exc
-    else:
-        scenario = scenario_preset(args.name)
+    scenario = _load_scenario(args.name)
 
     overrides = {}
     if args.backend is not None:
@@ -591,6 +652,30 @@ def _cmd_scenario(args: argparse.Namespace) -> str:
         lines.append("note: worker processes were unavailable; the "
                      "clients ran sequentially in-process")
     return "\n".join(lines)
+
+
+def _load_scenario(name: str):
+    """Resolve a scenario argument: preset name or JSON spec file.
+
+    Preset names win; only non-preset arguments are treated as spec
+    files (a stray file in the cwd must never shadow a preset).
+    """
+    import os
+
+    from repro.core.presets import SCENARIO_PRESETS, scenario_preset
+    from repro.core.scenario import Scenario
+    from repro.errors import ParameterError
+
+    if name.strip().lower() in SCENARIO_PRESETS:
+        return scenario_preset(name)
+    if name.endswith(".json") or os.path.exists(name):
+        try:
+            with open(name, "r", encoding="utf-8") as handle:
+                return Scenario.from_json(handle.read())
+        except OSError as exc:
+            raise ParameterError(
+                f"cannot read scenario spec {name!r}: {exc}") from exc
+    return scenario_preset(name)
 
 
 def _shared_sqlite_options(options: dict, journal_mode: str,
@@ -813,6 +898,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 2
 
 
+def _parse_rates(chunks: Sequence[str]) -> List[float]:
+    """``--rate 25,100 400`` → ``[25.0, 100.0, 400.0]``."""
+    from repro.errors import ParameterError
+
+    rates: List[float] = []
+    for chunk in chunks:
+        for token in str(chunk).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                rates.append(float(token))
+            except ValueError as exc:
+                raise ParameterError(
+                    f"invalid offered rate {token!r}") from exc
+    if not rates:
+        raise ParameterError("at least one offered rate is required")
+    return rates
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Run (or load) an offered-rate sweep, render it, gate a baseline."""
+    import json
+    from dataclasses import replace
+
+    from repro.core.loadgen import run_load_sweep
+    from repro.obs import results
+    from repro.obs.matrix import compare_documents
+    from repro.reporting import render_bench_comparison, render_load_report
+
+    if args.current is not None:
+        document = results.load_document(args.current)
+        if args.out is not None:
+            written = results.write_document(document, path=args.out)
+            print(f"ocb loadtest: wrote {written}", file=sys.stderr)
+    else:
+        rates = _parse_rates(args.rate)
+        scenario = _load_scenario(args.name)
+        overrides = {}
+        if args.backend is not None:
+            overrides["backend"] = args.backend
+        if args.clients is not None:
+            overrides["clients"] = args.clients
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if overrides:
+            scenario = replace(scenario, **overrides)
+        if scenario.backend in ("sqlite", "sharded-sqlite"):
+            options = dict(scenario.backend_options)
+            options.setdefault("path", args.sqlite_path)
+            options = _shared_sqlite_options(
+                options, args.journal_mode, args.busy_timeout,
+                for_processes=False)
+            scenario = replace(scenario, backend_options=options)
+        db_params, _ = preset(args.preset)
+        database, _report = generate_database(db_params)
+        sweep = run_load_sweep(
+            database, scenario, rates, operations=args.ops,
+            mode=args.arrivals, seed=args.seed,
+            divergence=args.divergence, blowup=args.blowup,
+            predict=not args.no_predict,
+            progress=lambda line: print(f"ocb loadtest: {line}",
+                                        file=sys.stderr))
+        config = {
+            "scenario": scenario.mix.name,
+            "backend": scenario.backend,
+            "clients": scenario.clients,
+            "database_preset": args.preset,
+            "rates": sorted(rates),
+            "operations": args.ops,
+            "arrival_mode": args.arrivals,
+            "seed": sweep["seed"],
+            "divergence": sweep["divergence"],
+            "blowup": sweep["blowup"],
+            "knee": sweep["knee"],
+        }
+        document = results.build_document(
+            "load_sweep", sweep["cells"], config=config,
+            name=f"loadtest-{scenario.mix.name}")
+        written = results.write_document(document, path=args.out)
+        print(f"ocb loadtest: wrote {written}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_load_report(document))
+    if args.compare is None:
+        return 0
+    baseline = results.load_document(args.compare)
+    comparison = compare_documents(document, baseline,
+                                   tolerance=args.tolerance)
+    rows = [{"key": row.key, "status": row.status,
+             "throughput_ratio": row.throughput_ratio,
+             "problems": row.problems}
+            for row in comparison.rows]
+    print()
+    print(render_bench_comparison(
+        rows, title=f"vs baseline {args.compare}"))
+    print(comparison.describe())
+    if comparison.ok:
+        return 0
+    for row in comparison.regressions:
+        problems = "; ".join(row.problems) or "cell missing"
+        print(f"ocb loadtest: regression in {row.key}: {problems}",
+              file=sys.stderr)
+    return 2
+
+
 def _cmd_tables(args: argparse.Namespace) -> str:
     if args.id == 1:
         p = default_database_parameters()
@@ -906,10 +1098,12 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
                 print(f"trace: {collector.total} records -> {trace_path} "
                       f"({collector.dropped} beyond the ring buffer)",
                       file=sys.stderr)
-                for name, count, total, mean in trace.summary(collector):
+                for name, count, total, mean, p999 \
+                        in trace.summary(collector):
                     print(f"trace: {name}: {count} x, "
                           f"total {total * 1e3:.1f} ms, "
-                          f"mean {mean * 1e3:.3f} ms", file=sys.stderr)
+                          f"mean {mean * 1e3:.3f} ms, "
+                          f"P99.9 {p999 * 1e3:.3f} ms", file=sys.stderr)
 
 
 def _dispatch_command(parser: argparse.ArgumentParser,
@@ -934,6 +1128,8 @@ def _dispatch_command(parser: argparse.ArgumentParser,
         print(_cmd_scale(args))
     elif args.command == "bench":
         return _cmd_bench(args)
+    elif args.command == "loadtest":
+        return _cmd_loadtest(args)
     elif args.command == "tables":
         print(_cmd_tables(args))
     elif args.command == "fig4":

@@ -34,16 +34,28 @@ class LatencyPercentiles:
     p50: float
     p95: float
     p99: float
+    p999: float = 0.0
 
     @classmethod
-    def from_samples(cls, samples: List[float]) -> "LatencyPercentiles":
-        """Percentiles of *samples*; all-zero when no samples exist."""
-        if not samples:
+    def from_samples(cls, samples: "List[float]") -> "LatencyPercentiles":
+        """Percentiles of *samples*; all-zero when no samples exist.
+
+        *samples* may be a plain sequence or any object exposing
+        ``__len__`` and ``percentile(q)`` (``stats.BoundedSample``, an
+        ``obs.latency.LatencyHistogram``) — long-running sweeps fold
+        into bounded histograms instead of unbounded lists.
+        """
+        if not len(samples):
             return cls(count=0, p50=0.0, p95=0.0, p99=0.0)
+        quantile = getattr(samples, "percentile", None)
+        if quantile is None:
+            def quantile(q: float) -> float:
+                return percentile(samples, q)
         return cls(count=len(samples),
-                   p50=percentile(samples, 50.0),
-                   p95=percentile(samples, 95.0),
-                   p99=percentile(samples, 99.0))
+                   p50=quantile(50.0),
+                   p95=quantile(95.0),
+                   p99=quantile(99.0),
+                   p999=quantile(99.9))
 
     def describe(self, scale: float = 1e3, unit: str = "ms") -> str:
         """One line, e.g. ``P50 0.12 ms | P95 0.50 ms | P99 0.91 ms``."""

@@ -94,6 +94,7 @@ from repro.errors import ParameterError, StorageError, UnknownObject, \
 from repro.obs import trace
 from repro.rand.distributions import Distribution, UniformDistribution
 from repro.rand.lewis_payne import LewisPayne
+from repro.stats import BoundedSample
 from repro.store.serializer import StoredObject
 
 __all__ = [
@@ -531,7 +532,9 @@ class OpClassStats:
     sim_time: float = 0.0
     wall_time: float = 0.0
     busy_retries: int = 0
-    wall_samples: List[float] = field(default_factory=list)
+    # Bounded: exact samples for short runs, log-bucketed histogram once
+    # a long open-loop sweep pushes past the fold threshold.
+    wall_samples: BoundedSample = field(default_factory=BoundedSample)
 
     def add(self, objects: int, io_reads: int, io_writes: int,
             sim_time: float, wall_seconds: float, retries: int = 0) -> None:
@@ -583,6 +586,7 @@ class OpClassStats:
             "wall_p50_ms": wall.p50 * 1e3,
             "wall_p95_ms": wall.p95 * 1e3,
             "wall_p99_ms": wall.p99 * 1e3,
+            "wall_p999_ms": wall.p999 * 1e3,
             "busy_retries": self.busy_retries,
         }
 
@@ -721,6 +725,12 @@ class ClientScenarioReport:
     remote_reads: int = 0
     pid: Optional[int] = None
     wall_seconds: float = 0.0
+    #: Open-loop pacing counters — operations whose start lagged their
+    #: intended arrival beyond the grace window, and the deepest
+    #: due-but-unstarted arrival backlog.  Both stay 0 for closed-loop
+    #: runs, where no arrival schedule exists.
+    late_starts: int = 0
+    max_backlog: int = 0
 
     @property
     def operations(self) -> int:
@@ -738,6 +748,8 @@ class ClientScenarioReport:
             "busy_retries": self.busy_retries,
             "busy_wait_seconds": self.busy_wait_seconds,
             "remote_reads": self.remote_reads,
+            "late_starts": self.late_starts,
+            "max_backlog": self.max_backlog,
             "cold": self.cold.to_dict(),
             "warm": self.warm.to_dict(),
         }
@@ -761,6 +773,11 @@ class ScenarioReport:
     #: Per-worker resource usage mappings when the scenario ran as
     #: monitored OS processes (see :class:`repro.obs.ResourceMonitor`).
     worker_resources: List[Dict[str, object]] = field(default_factory=list)
+    #: Open-loop provenance: the offered arrival rate (ops/s, summed
+    #: over clients) and arrival process ("poisson"/"fixed") when the
+    #: scenario ran under the load generator; ``None`` for closed loops.
+    offered_rate: Optional[float] = None
+    arrival_mode: Optional[str] = None
 
     @property
     def client_count(self) -> int:
@@ -825,6 +842,18 @@ class ScenarioReport:
         return sum(client.write_conflicts for client in self.clients)
 
     @property
+    def late_starts(self) -> int:
+        """Operations that started late against their intended arrival,
+        summed over clients (0 for closed-loop runs)."""
+        return sum(client.late_starts for client in self.clients)
+
+    @property
+    def max_backlog(self) -> int:
+        """Deepest due-but-unstarted arrival backlog any client saw."""
+        return max((client.max_backlog for client in self.clients),
+                   default=0)
+
+    @property
     def throughput(self) -> float:
         """Aggregate operations per second of harness wall-clock."""
         if self.elapsed_seconds <= 0.0:
@@ -833,6 +862,11 @@ class ScenarioReport:
 
     def describe(self) -> str:
         """One line: clients, mode, throughput, contention."""
+        open_loop = ""
+        if self.offered_rate is not None:
+            open_loop = (f", offered {self.offered_rate:g} op/s "
+                         f"({self.arrival_mode}), {self.late_starts} "
+                         f"late starts, backlog <= {self.max_backlog}")
         return (f"scenario {self.scenario_name!r}: {self.client_count} "
                 f"clients ({self.mode}) on {self.backend_name!r}, "
                 f"{self.total_operations} ops "
@@ -841,7 +875,8 @@ class ScenarioReport:
                 f"({self.throughput:.1f} op/s), "
                 f"{self.busy_retries} busy retries, "
                 f"{self.remote_reads} remote reads, "
-                f"{self.write_conflicts} write conflicts")
+                f"{self.write_conflicts} write conflicts"
+                f"{open_loop}")
 
     def to_dict(self) -> dict:
         """JSON-ready mapping (the ``ocb scenario --json`` document)."""
@@ -861,6 +896,10 @@ class ScenarioReport:
             "sql_round_trips": self.sql_round_trips,
             "read_misses": self.read_misses,
             "write_conflicts": self.write_conflicts,
+            "late_starts": self.late_starts,
+            "max_backlog": self.max_backlog,
+            "offered_rate": self.offered_rate,
+            "arrival_mode": self.arrival_mode,
             "warm": self.merged_warm.to_dict(),
             "cold": self.merged_cold.to_dict(),
             "per_client": [client.to_dict() for client in self.clients],

@@ -27,7 +27,8 @@ from repro.errors import WorkloadError
 from repro.sim.engine import Environment
 from repro.store.storage import ObjectStore
 
-__all__ = ["ClientTimings", "SimulatedRunReport", "SimulatedMultiUser"]
+__all__ = ["ClientTimings", "SimulatedRunReport", "SimulatedMultiUser",
+           "OpenLoopPrediction", "simulate_open_arrivals"]
 
 
 @dataclass
@@ -148,3 +149,105 @@ class SimulatedMultiUser:
         makespan = env.run()
         return SimulatedRunReport(clients=timings, makespan=makespan,
                                   disk_busy=busy[0], total_ios=total_ios[0])
+
+
+# ---------------------------------------------------------------------- #
+# Open-arrival prediction (the load generator's validation model)
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class OpenLoopPrediction:
+    """Predicted queueing behaviour of one open-arrival schedule."""
+
+    operations: int
+    makespan: float
+    busy: float
+    waits: List[float] = field(default_factory=list)
+    responses: List[float] = field(default_factory=list)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay (arrival → service start), seconds."""
+        return sum(self.waits) / len(self.waits) if self.waits else 0.0
+
+    @property
+    def p95_wait(self) -> float:
+        """95th-percentile queueing delay, seconds."""
+        if not self.waits:
+            return 0.0
+        from repro.stats import percentile
+        return percentile(self.waits, 95.0)
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time (arrival → completion), seconds."""
+        if not self.responses:
+            return 0.0
+        return sum(self.responses) / len(self.responses)
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per simulated second."""
+        return self.operations / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the server was busy."""
+        return self.busy / self.makespan if self.makespan > 0 else 0.0
+
+
+def simulate_open_arrivals(arrivals: List[float],
+                           service_times: List[float],
+                           capacity: int = 1) -> OpenLoopPrediction:
+    """Simulate open arrivals through a FIFO server on the DES engine.
+
+    *arrivals* are ascending intended start offsets (seconds);
+    *service_times* the matching per-operation service durations.  This
+    is exactly the queue the single-threaded open-loop driver
+    (:mod:`repro.core.loadgen`) physically is — operations arrive on a
+    schedule that does not care whether the server is free, queue FIFO
+    on one server (``capacity=1``), and leave after their service time —
+    so its predicted waits are directly comparable with the driver's
+    measured intended-arrival → start delays.  Takes plain lists, not
+    runner objects, to stay import-independent of the load generator.
+    """
+    if len(arrivals) != len(service_times):
+        raise WorkloadError(
+            f"arrivals and service_times must pair up, got "
+            f"{len(arrivals)} vs {len(service_times)}")
+    prediction = OpenLoopPrediction(operations=len(arrivals),
+                                    makespan=0.0, busy=0.0)
+    if not arrivals:
+        return prediction
+    env = Environment()
+    server = env.resource(capacity, name="server")
+    busy = [0.0]
+
+    def operation(service: float):
+        arrived = env.now
+        request = server.request()
+        yield request
+        prediction.waits.append(env.now - arrived)
+        busy[0] += service
+        if service > 0.0:
+            yield env.timeout(service)
+        server.release()
+        prediction.responses.append(env.now - arrived)
+
+    def spawner():
+        previous = 0.0
+        for offset, service in zip(arrivals, service_times):
+            gap = offset - previous
+            if gap < 0.0:
+                raise WorkloadError(
+                    "arrival offsets must be ascending, got "
+                    f"{offset} after {previous}")
+            if gap > 0.0:
+                yield env.timeout(gap)
+            previous = offset
+            env.process(operation(service))
+
+    env.process(spawner())
+    prediction.makespan = env.run()
+    prediction.busy = busy[0]
+    return prediction

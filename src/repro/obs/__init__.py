@@ -13,6 +13,11 @@ them without cycles:
   :func:`~repro.obs.monitor.system_info` (git rev, platform, CPU count).
 * :mod:`repro.obs.results` — the one schema-versioned ``BENCH_*.json``
   writer every benchmark emission path shares.
+* :mod:`repro.obs.latency` — the memory-bounded log-bucketed
+  :class:`~repro.obs.latency.LatencyHistogram` and the
+  coordinated-omission-correct
+  :class:`~repro.obs.latency.LatencyCollector` (response vs service
+  time against *intended* arrivals) the open-loop driver records into.
 
 :mod:`repro.obs.matrix` (the declarative experiment matrix behind
 ``ocb bench``) imports the execution layers and therefore must be
@@ -21,6 +26,7 @@ kernel can import ``repro.obs`` without a cycle.
 """
 
 from repro.obs import trace
+from repro.obs.latency import LatencyCollector, LatencyHistogram
 from repro.obs.monitor import ResourceMonitor, ResourceUsage, system_info
 from repro.obs.results import (
     SCHEMA_VERSION,
@@ -33,6 +39,8 @@ from repro.obs.results import (
 
 __all__ = [
     "trace",
+    "LatencyCollector",
+    "LatencyHistogram",
     "ResourceMonitor",
     "ResourceUsage",
     "system_info",

@@ -47,10 +47,12 @@ SCHEMA_VERSION = 1
 #: Document kinds the schema knows.  ``matrix`` is the ``ocb bench``
 #: experiment matrix; ``shard_scaling`` is the sharded-vs-single-file
 #: write-throughput curve of ``bench_parallel.py --backend
-#: sharded-sqlite``; the other three are the unified shapes of the
-#: pre-existing harnesses.
+#: sharded-sqlite``; ``load_sweep`` is the ``ocb loadtest``
+#: offered-rate sweep (one cell per rate, coordinated-omission-correct
+#: latency split + DES-predicted waits); the other three are the
+#: unified shapes of the pre-existing harnesses.
 KINDS = ("matrix", "scale_sweep", "parallel_scaling",
-         "scenario_contention", "shard_scaling")
+         "scenario_contention", "shard_scaling", "load_sweep")
 
 #: Keys every ``system`` mapping must carry.
 _SYSTEM_KEYS = ("git_rev", "platform", "python", "cpu_count", "hostname")
@@ -63,6 +65,25 @@ MATRIX_CELL_KEYS = (
     "operations", "throughput", "elapsed_seconds",
     "wall_p50_ms", "wall_p95_ms", "wall_p99_ms",
     "busy_retries", "cpu_seconds", "peak_rss_kb",
+)
+
+#: Keys every cell of a ``load_sweep`` document must carry: identity,
+#: the offered-vs-achieved pair, the coordinated-omission-correct
+#: latency split (response from *intended* arrival, service from actual
+#: start), backlog accounting, the knee verdict, and the DES
+#: predicted-vs-measured wait pair.  ``wall_p95_ms`` aliases the
+#: service-time P95 so the ``--compare`` gate shared with ``ocb bench``
+#: regresses on the engine number, not the queueing tail.
+LOAD_CELL_KEYS = (
+    "backend", "scenario", "clients",
+    "offered_rate", "arrival_mode", "operations",
+    "throughput", "elapsed_seconds", "wall_p95_ms",
+    "response_p50_ms", "response_p95_ms", "response_p99_ms",
+    "response_p999_ms",
+    "service_p50_ms", "service_p95_ms", "service_p99_ms",
+    "service_p999_ms",
+    "wait_mean_ms", "late_starts", "max_backlog",
+    "saturated", "knee",
 )
 
 
@@ -127,6 +148,12 @@ def validate_document(document: object) -> dict:
                 if missing:
                     problems.append(
                         f"cells[{index}] is missing {missing}")
+            elif kind == "load_sweep":
+                missing = [key for key in LOAD_CELL_KEYS
+                           if key not in cell]
+                if missing:
+                    problems.append(
+                        f"cells[{index}] is missing {missing}")
     if problems:
         raise ParameterError(
             "invalid BENCH document: " + "; ".join(problems))
@@ -182,6 +209,7 @@ def collector_dict(collector) -> Dict[str, object]:
         "dropped": collector.dropped,
         "by_name": [
             {"name": name, "count": count, "total_s": total,
-             "mean_ms": mean * 1e3}
-            for name, count, total, mean in trace.summary(collector)],
+             "mean_ms": mean * 1e3, "p999_ms": p999 * 1e3}
+            for name, count, total, mean, p999
+            in trace.summary(collector)],
     }

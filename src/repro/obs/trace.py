@@ -271,20 +271,28 @@ def span(name: str, **attrs: object) -> Iterator[None]:
 
 
 def summary(collector: Optional[TraceCollector] = None
-            ) -> List[Tuple[str, int, float, float]]:
-    """Per-name ``(name, count, total_seconds, mean_seconds)`` rows.
+            ) -> List[Tuple[str, int, float, float, float]]:
+    """Per-name ``(name, count, total_seconds, mean_seconds,
+    p999_seconds)`` rows.
 
     Sorted by total wall time, descending — the "where did the time go"
-    decomposition of a traced run.
+    decomposition of a traced run.  The P99.9 column folds each name's
+    durations through a bounded log-bucketed histogram (relative error
+    <= 1 %), so a stall that one mean would average away still shows.
     """
     collector = collector or _collector
     if collector is None:
         return []
-    totals: Dict[str, Tuple[int, float]] = {}
+    from repro.obs.latency import LatencyHistogram
+    totals: Dict[str, Tuple[int, float, LatencyHistogram]] = {}
     for record in collector.records():
-        count, total = totals.get(record.name, (0, 0.0))
-        totals[record.name] = (count + 1, total + record.wall_seconds)
-    rows = [(name, count, total, total / count if count else 0.0)
-            for name, (count, total) in totals.items()]
+        count, total, histogram = totals.get(
+            record.name, (0, 0.0, LatencyHistogram()))
+        histogram.record(record.wall_seconds)
+        totals[record.name] = (count + 1, total + record.wall_seconds,
+                               histogram)
+    rows = [(name, count, total, total / count if count else 0.0,
+             histogram.percentile(99.9))
+            for name, (count, total, histogram) in totals.items()]
     rows.sort(key=lambda row: row[2], reverse=True)
     return rows

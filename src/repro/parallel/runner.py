@@ -153,6 +153,10 @@ class ParallelRunner:
         with self._storage_options() as options:
             if self.shared:
                 self._load_shared(options)
+            # An offered rate is a fleet-wide target: each worker paces
+            # its even share on its own seeded arrival lane.
+            rate_share = (self.config.rate / self.parameters.clients
+                          if self.config.rate is not None else None)
             specs = [WorkerSpec(client_id=client,
                                 database=self.database,
                                 parameters=self.parameters,
@@ -164,7 +168,9 @@ class ParallelRunner:
                                 mix=self.mix,
                                 monitor=self.config.monitor,
                                 monitor_interval=self.config.monitor_interval,
-                                home_shard=self._home_shard(client))
+                                home_shard=self._home_shard(client),
+                                rate=rate_share,
+                                arrival_mode=self.config.arrival_mode)
                      for client in range(self.parameters.clients)]
             pool = ProcessPool(
                 processes=self.config.max_workers or len(specs),

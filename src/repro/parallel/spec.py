@@ -68,6 +68,14 @@ class ParallelConfig:
     #: (``client_id % shards``).  ``None`` keeps the engine's default;
     #: setting it for a non-sharded backend is refused loudly.
     shards: Optional[int] = None
+    #: Offered arrival rate (operations/second, summed over workers) for
+    #: open-loop pacing of scenario warm phases.  ``None`` keeps the
+    #: classic closed loop; a rate splits evenly across workers (each
+    #: gets ``rate / clients`` on its own seeded arrival lane) and every
+    #: worker records intended-arrival latency + late-start backlog.
+    rate: Optional[float] = None
+    #: Arrival process for :attr:`rate` (``"poisson"`` or ``"fixed"``).
+    arrival_mode: str = "poisson"
 
     def __post_init__(self) -> None:
         if self.busy_timeout_ms < 0:
@@ -86,6 +94,13 @@ class ParallelConfig:
         if self.shards is not None and self.shards < 1:
             raise ParameterError(
                 f"shards must be >= 1, got {self.shards}")
+        if self.rate is not None and self.rate <= 0.0:
+            raise ParameterError(
+                f"rate must be > 0, got {self.rate}")
+        if self.arrival_mode not in ("poisson", "fixed"):
+            raise ParameterError(
+                f"arrival_mode must be 'poisson' or 'fixed', "
+                f"got {self.arrival_mode!r}")
 
 
 @dataclass
@@ -122,6 +137,14 @@ class WorkerSpec:
     #: fork, so the engine opens its connection set home-shard-first
     #: and accounts ``remote_reads`` / ``remote_writes``.
     home_shard: Optional[int] = None
+    #: This worker's share of an open-loop offered rate (ops/second).
+    #: ``None`` keeps the closed-loop warm phase; set, the warm phase is
+    #: paced by a seeded arrival schedule on the worker's own lane
+    #: (substream offset = ``client_id``) and the result's scenario
+    #: report carries ``late_starts`` / ``max_backlog``.
+    rate: Optional[float] = None
+    #: Arrival process for :attr:`rate`.
+    arrival_mode: str = "poisson"
 
     def __post_init__(self) -> None:
         if self.client_id < 0:

@@ -103,11 +103,33 @@ def _run_worker(spec: WorkerSpec) -> WorkerResult:
         setup_seconds = time.perf_counter() - setup_start
         cold = ScenarioCollector("cold")
         warm = ScenarioCollector("warm")
+        late_starts = 0
+        max_backlog = 0
         run_start = time.perf_counter()
         for _ in range(spec.parameters.cold_n):
             executor.step(cold)
-        for _ in range(spec.parameters.hot_n):
-            executor.step(warm)
+        if spec.rate is None:
+            for _ in range(spec.parameters.hot_n):
+                executor.step(warm)
+        else:
+            # Open-loop warm phase: this worker paces its share of the
+            # offered rate on its own seeded arrival lane and records
+            # intended-arrival latency (see repro.core.loadgen).
+            from repro.core.loadgen import ArrivalSchedule, pace
+            from repro.obs.latency import LatencyCollector
+            from repro.rand.lewis_payne import DEFAULT_SEED
+            schedule = ArrivalSchedule(
+                rate=spec.rate, operations=spec.parameters.hot_n,
+                mode=spec.arrival_mode,
+                seed=(spec.parameters.seed
+                      if spec.parameters.seed is not None
+                      else DEFAULT_SEED),
+                stream=spec.client_id)
+            latency = LatencyCollector()
+            pace(schedule.offsets(), lambda index: executor.step(warm),
+                 latency)
+            late_starts = latency.late_starts
+            max_backlog = latency.max_backlog
         wall_seconds = time.perf_counter() - run_start
         report = WorkloadReport(cold=cold.classic.report,
                                 warm=warm.classic.report)
@@ -117,7 +139,9 @@ def _run_worker(spec: WorkerSpec) -> WorkerResult:
             read_misses=executor.read_misses,
             write_conflicts=executor.write_conflicts,
             pid=os.getpid(),
-            wall_seconds=wall_seconds)
+            wall_seconds=wall_seconds,
+            late_starts=late_starts,
+            max_backlog=max_backlog)
 
     stats = session.store.stats()
     session.close()

@@ -26,6 +26,12 @@ from repro.reporting.figures import (
     render_line_chart,
     render_series_table,
 )
+from repro.reporting.loadtest import (
+    describe_knee,
+    render_load_chart,
+    render_load_report,
+    render_load_sweep,
+)
 from repro.reporting.tables import format_cell, render_kv, render_table
 
 __all__ = [
@@ -49,4 +55,8 @@ __all__ = [
     "render_scenario_report",
     "render_bench_cells",
     "render_bench_comparison",
+    "describe_knee",
+    "render_load_chart",
+    "render_load_report",
+    "render_load_sweep",
 ]

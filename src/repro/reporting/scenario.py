@@ -43,17 +43,22 @@ def render_scenario_clients(report: ScenarioReport,
         rows.append([client.client_id,
                      client.pid if client.pid is not None else "-",
                      warm.count, warm.objects_per_op, wall.p95 * 1e3,
-                     client.busy_retries, client.remote_reads,
+                     client.busy_retries, client.busy_wait_seconds,
+                     client.late_starts, client.max_backlog,
+                     client.remote_reads,
                      client.write_conflicts, client.read_misses])
     merged = report.merged_warm.totals
     merged_wall = report.merged_warm.wall_percentiles()
     rows.append(["all", "-", merged.count, merged.objects_per_op,
                  merged_wall.p95 * 1e3, report.busy_retries,
+                 report.busy_wait_seconds, report.late_starts,
+                 report.max_backlog,
                  report.remote_reads, report.write_conflicts,
                  report.read_misses])
     return render_table(
         ["client", "pid", "warm ops", "objects/op", "P95 (ms)",
-         "busy retries", "remote reads", "write conflicts", "read misses"],
+         "busy retries", "busy wait (s)", "late starts", "backlog",
+         "remote reads", "write conflicts", "read misses"],
         rows, title=title, precision=3)
 
 

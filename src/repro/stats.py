@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import ParameterError
 
-__all__ = ["Summary", "summarize", "percentile", "confidence_interval"]
+__all__ = ["Summary", "summarize", "percentile", "confidence_interval",
+           "BoundedSample"]
 
 # Two-sided 95 % Student-t critical values for df = 1..30; beyond 30 the
 # normal approximation (1.96) is used.
@@ -106,3 +107,129 @@ def summarize(values: Sequence[float]) -> Summary:
                    median=percentile(values, 50.0),
                    p95=percentile(values, 95.0),
                    ci95=confidence_interval(values))
+
+
+class BoundedSample:
+    """A latency sample set whose memory footprint is bounded.
+
+    Below ``threshold`` samples this behaves exactly like the list it
+    replaces: every value is kept and :meth:`percentile` runs the exact
+    sorted-interpolation path above, so short scenario runs keep their
+    byte-identical reports.  Past the threshold the values *fold* into a
+    log-bucketed :class:`repro.obs.latency.LatencyHistogram` (fixed
+    relative precision, O(1) memory from then on) — the regime a
+    multi-minute ``ocb loadtest`` sweep lives in, where an unbounded
+    ``wall_samples`` list would grow by one float per operation
+    forever.
+
+    The container is picklable (parallel workers ship their stats home)
+    and mergeable in either regime.
+    """
+
+    DEFAULT_THRESHOLD = 4096
+
+    def __init__(self, values: Optional[Iterable[float]] = None,
+                 threshold: int = DEFAULT_THRESHOLD,
+                 precision: float = 0.005) -> None:
+        if threshold < 1:
+            raise ParameterError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.precision = precision
+        self._values: List[float] = []
+        self._histogram = None  # type: Optional[object]
+        if values is not None:
+            self.extend(values)
+
+    # -- regime ---------------------------------------------------------- #
+
+    @property
+    def exact(self) -> bool:
+        """Whether every sample is still held individually."""
+        return self._histogram is None
+
+    def _fold(self) -> None:
+        # Imported lazily: obs.latency has no dependencies back into
+        # stats, but keeping the import out of module scope keeps this
+        # module importable first during package initialisation.
+        from repro.obs.latency import LatencyHistogram
+        histogram = LatencyHistogram(precision=self.precision)
+        histogram.record_many(self._values)
+        self._histogram = histogram
+        self._values = []
+
+    # -- list protocol ---------------------------------------------------- #
+
+    def append(self, value: float) -> None:
+        """Add one sample, folding to the histogram at the threshold."""
+        if self._histogram is not None:
+            self._histogram.record(value)
+            return
+        self._values.append(float(value))
+        if len(self._values) > self.threshold:
+            self._fold()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples; *values* may be another BoundedSample."""
+        if isinstance(values, BoundedSample):
+            if values._histogram is not None:
+                if self._histogram is None:
+                    self._fold()
+                self._histogram.merge(values._histogram)
+                return
+            values = values._values
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        if self._histogram is not None:
+            return self._histogram.count
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        """Iterate raw samples (exact regime only)."""
+        if self._histogram is not None:
+            raise ParameterError(
+                "BoundedSample folded to a histogram; raw samples are "
+                "no longer available")
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        if self._histogram is not None:
+            raise ParameterError(
+                "BoundedSample folded to a histogram; raw samples are "
+                "no longer available")
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BoundedSample):
+            if self.exact and other.exact:
+                return self._values == other._values
+            return (len(self) == len(other)
+                    and self.percentile(50.0) == other.percentile(50.0))
+        if isinstance(other, (list, tuple)) and self.exact:
+            return self._values == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regime = "exact" if self.exact else "histogram"
+        return f"BoundedSample(n={len(self)}, {regime})"
+
+    # -- queries ---------------------------------------------------------- #
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile below the fold threshold, histogram above
+        (relative error bounded by ``precision``); 0.0 when empty."""
+        if self._histogram is not None:
+            return self._histogram.percentile(q)
+        if not self._values:
+            return 0.0
+        return percentile(self._values, q)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean in both regimes (the histogram tracks the sum)."""
+        if self._histogram is not None:
+            return self._histogram.mean
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)

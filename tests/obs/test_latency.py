@@ -1,0 +1,275 @@
+"""Histogram precision, round-trip and merge laws; collector semantics.
+
+The :class:`~repro.obs.latency.LatencyHistogram` replaces exact
+sorted-list percentiles on unbounded collections, so its contract is a
+*bounded relative error* — every property here pins that bound, and the
+:class:`~repro.stats.BoundedSample` tolerance test pins the fold-over
+point where the scenario layer switches from exact to bucketed.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.obs.latency import (DEFAULT_LATE_GRACE, LatencyCollector,
+                               LatencyHistogram)
+from repro.stats import BoundedSample, percentile
+
+#: Values kept inside the default histogram range so the precision
+#: bound (not the under/overflow clamp) is what the properties pin.
+in_range = st.floats(min_value=1e-5, max_value=100.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+def nearest_rank(values, q):
+    """The ceil-rank order statistic — the histogram's quantile rule
+    (``stats.percentile`` interpolates between ranks instead, so it is
+    not the right exact reference for a bucketed nearest-rank value)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestHistogramBasics:
+    def test_empty_histogram_reports_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50.0) == 0.0
+        assert len(histogram) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            LatencyHistogram(min_value=0.0)
+        with pytest.raises(ParameterError):
+            LatencyHistogram(min_value=2.0, max_value=1.0)
+        with pytest.raises(ParameterError):
+            LatencyHistogram(precision=0.0)
+        with pytest.raises(ParameterError):
+            LatencyHistogram().percentile(101.0)
+
+    def test_single_value_is_every_percentile(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.25)
+        for q in (0.0, 50.0, 99.9, 100.0):
+            assert histogram.percentile(q) == pytest.approx(0.25)
+
+    def test_mean_is_exact_not_bucketed(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([0.1, 0.2, 0.3])
+        assert histogram.mean == pytest.approx(0.2)
+
+    def test_negative_values_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-1.0)
+        assert histogram.min == 0.0
+        assert histogram.percentile(50.0) == 0.0
+
+    def test_memory_is_bounded_by_geometry_not_samples(self):
+        histogram = LatencyHistogram(precision=0.01)
+        limit = histogram._bucket_limit + 1
+        for index in range(20_000):
+            histogram.record(1e-6 * (1.0 + index))
+        assert histogram.count == 20_000
+        assert histogram.buckets_used <= limit
+
+    def test_overflow_values_report_through_max_clamp(self):
+        histogram = LatencyHistogram(max_value=1.0)
+        histogram.record(5.0)
+        assert histogram.percentile(99.0) == pytest.approx(5.0)
+
+    def test_sample_inverse_bounds(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([0.1, 0.2])
+        assert histogram.sample_inverse(0.0) == pytest.approx(0.1, rel=0.02)
+        with pytest.raises(ParameterError):
+            histogram.sample_inverse(1.0)
+
+
+class TestHistogramProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(in_range, min_size=1, max_size=200),
+           st.sampled_from([50.0, 90.0, 95.0, 99.0, 99.9]))
+    def test_percentile_relative_error_bounded_by_precision(
+            self, values, q):
+        histogram = LatencyHistogram(precision=0.01)
+        histogram.record_many(values)
+        exact = nearest_rank(values, q)
+        bucketed = histogram.percentile(q)
+        assert bucketed <= max(values)
+        assert bucketed >= min(values)
+        # One bucket of slack on top of the nominal precision: the
+        # exact rank statistic may sit at a bucket's lower edge.
+        assert bucketed >= exact / (1.0 + histogram.precision) ** 2
+        # The bucketed value never exceeds the exact value by more
+        # than one growth step (upper-bound reporting).
+        assert bucketed <= exact * (1.0 + histogram.precision) ** 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(in_range, min_size=1, max_size=100))
+    def test_round_trip_preserves_everything(self, values):
+        histogram = LatencyHistogram()
+        histogram.record_many(values)
+        clone = LatencyHistogram.from_dict(histogram.to_dict())
+        assert clone.count == histogram.count
+        assert clone.total == pytest.approx(histogram.total)
+        assert clone.min == histogram.min
+        assert clone.max == histogram.max
+        for q in (50.0, 95.0, 99.0, 99.9):
+            assert clone.percentile(q) == histogram.percentile(q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(in_range, min_size=1, max_size=80),
+           st.lists(in_range, min_size=1, max_size=80))
+    def test_merge_equals_recording_the_union(self, left, right):
+        merged = LatencyHistogram()
+        merged.record_many(left)
+        other = LatencyHistogram()
+        other.record_many(right)
+        merged.merge(other)
+        union = LatencyHistogram()
+        union.record_many(left + right)
+        assert merged.count == union.count
+        assert merged.total == pytest.approx(union.total)
+        assert merged._counts == union._counts
+        for q in (50.0, 95.0, 99.9):
+            assert merged.percentile(q) == union.percentile(q)
+
+    def test_merge_refuses_different_geometry(self):
+        with pytest.raises(ParameterError):
+            LatencyHistogram(precision=0.01).merge(
+                LatencyHistogram(precision=0.02))
+
+
+class TestCollector:
+    def test_response_service_wait_split(self):
+        collector = LatencyCollector()
+        # Intended at t=1, started at t=1.5, completed at t=1.7:
+        # response 0.7, service 0.2, wait 0.5 — and late.
+        late = collector.record(1.0, 1.5, 1.7)
+        assert late is True
+        assert collector.operations == 1
+        assert collector.late_starts == 1
+        assert collector.response.mean == pytest.approx(0.7)
+        assert collector.service.mean == pytest.approx(0.2)
+        assert collector.wait.mean == pytest.approx(0.5)
+
+    def test_on_time_start_is_not_late(self):
+        collector = LatencyCollector()
+        lag = DEFAULT_LATE_GRACE / 2.0
+        assert collector.record(1.0, 1.0 + lag, 1.1) is False
+        assert collector.late_starts == 0
+
+    def test_backlog_tracks_the_maximum(self):
+        collector = LatencyCollector()
+        for depth in (1, 4, 2):
+            collector.note_backlog(depth)
+        assert collector.max_backlog == 4
+
+    def test_merge_accumulates_counts(self):
+        left = LatencyCollector()
+        left.record(0.0, 0.0, 0.1)
+        left.note_backlog(2)
+        right = LatencyCollector()
+        right.record(0.0, 0.5, 0.6)
+        right.note_backlog(5)
+        left.merge(right)
+        assert left.operations == 2
+        assert left.late_starts == 1
+        assert left.max_backlog == 5
+
+    def test_round_trip(self):
+        collector = LatencyCollector()
+        collector.record(0.0, 0.2, 0.3)
+        collector.note_backlog(3)
+        clone = LatencyCollector.from_dict(collector.to_dict())
+        assert clone.operations == 1
+        assert clone.late_starts == 1
+        assert clone.max_backlog == 3
+        assert clone.response.mean == pytest.approx(0.3)
+
+    def test_cell_fields_shape(self):
+        collector = LatencyCollector()
+        collector.record(0.0, 0.0, 0.05)
+        fields = collector.cell_fields()
+        for key in ("late_starts", "max_backlog", "response_p95_ms",
+                    "response_p999_ms", "service_p95_ms", "wait_mean_ms"):
+            assert key in fields
+        assert fields["service_p95_ms"] == pytest.approx(50.0, rel=0.03)
+
+    def test_collector_is_picklable(self):
+        collector = LatencyCollector()
+        collector.record(0.0, 0.0, 0.1)
+        clone = pickle.loads(pickle.dumps(collector))
+        assert clone.operations == 1
+        assert clone.response.mean == pytest.approx(0.1)
+
+
+class TestBoundedSample:
+    """The satellite pin: exact below the fold threshold, histogram
+    percentiles within tolerance above it."""
+
+    def test_exact_regime_matches_list_percentile(self):
+        values = [float(index) for index in range(1, 101)]
+        sample = BoundedSample(values)
+        assert sample.exact
+        for q in (50.0, 95.0, 99.0):
+            assert sample.percentile(q) == percentile(values, q)
+        assert list(sample) == values
+        assert sample == values
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(in_range, min_size=1, max_size=300))
+    def test_folded_percentiles_within_histogram_tolerance(self, values):
+        sample = BoundedSample(values, threshold=16, precision=0.005)
+        if len(values) <= 16:
+            assert sample.exact
+            return
+        assert not sample.exact
+        for q in (50.0, 95.0, 99.0):
+            exact = nearest_rank(values, q)
+            folded = sample.percentile(q)
+            # Two growth steps of slack, same reasoning as the
+            # histogram precision property above.
+            slack = (1.0 + 0.005) ** 2
+            assert exact / slack <= folded <= exact * slack
+
+    def test_fold_is_permanent_and_indexing_refuses(self):
+        sample = BoundedSample(threshold=4)
+        sample.extend([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert not sample.exact
+        assert len(sample) == 5
+        with pytest.raises(ParameterError):
+            list(sample)
+        with pytest.raises(ParameterError):
+            sample[0]
+
+    def test_extend_merges_folded_samples(self):
+        left = BoundedSample([0.1] * 5, threshold=4)
+        right = BoundedSample([0.9] * 5, threshold=4)
+        left.extend(right)
+        assert len(left) == 10
+        assert left.percentile(50.0) == pytest.approx(0.1, rel=0.02)
+        assert left.percentile(99.0) == pytest.approx(0.9, rel=0.02)
+
+    def test_mean_spans_both_regimes(self):
+        sample = BoundedSample(threshold=4)
+        sample.extend([1.0, 2.0, 3.0])
+        assert sample.mean == pytest.approx(2.0)
+        sample.extend([4.0, 5.0])
+        assert not sample.exact
+        assert sample.mean == pytest.approx(3.0)
+
+    def test_bounded_sample_is_picklable_in_both_regimes(self):
+        exact = pickle.loads(pickle.dumps(BoundedSample([0.1, 0.2])))
+        assert exact == [0.1, 0.2]
+        folded = BoundedSample([0.1] * 10, threshold=4)
+        clone = pickle.loads(pickle.dumps(folded))
+        assert len(clone) == 10
+        assert not clone.exact

@@ -108,10 +108,22 @@ class TestSummary:
         trace.emit("dear", 1.0)
         rows = trace.summary(collector)
         assert [row[0] for row in rows] == ["dear", "cheap"]
-        name, count, total, mean = rows[1]
+        name, count, total, mean, p999 = rows[1]
         assert count == 2
         assert total == pytest.approx(0.002)
         assert mean == pytest.approx(0.001)
+        # The tail column comes from a log-bucketed histogram: accurate
+        # to its relative precision, not exact.
+        assert p999 == pytest.approx(0.001, rel=0.02)
+
+    def test_summary_p999_tracks_the_slowest_emission(self):
+        collector = trace.enable()
+        for _ in range(99):
+            trace.emit("op", 0.001)
+        trace.emit("op", 0.5)
+        ((_, count, _, _, p999),) = trace.summary(collector)
+        assert count == 100
+        assert p999 == pytest.approx(0.5, rel=0.02)
 
     def test_summary_without_collector_is_empty(self):
         assert trace.summary() == []
@@ -150,4 +162,25 @@ class TestZeroOverheadWhenOff:
             lambda *args, **kwargs: calls.append(("span", args)))
         assert main(["scenario", "read_heavy", "--warm", "5",
                      "--cold", "1"]) == 0
+        assert calls == []
+
+    def test_loadtest_off_run_executes_no_tracer_callbacks(
+            self, monkeypatch, tmp_path):
+        """The open-loop pacer guards its arrival/late-start emissions
+        with ``trace.enabled`` too — a loadtest without --trace must
+        execute zero tracer callbacks."""
+        from repro.cli import main
+
+        calls = []
+        monkeypatch.setattr(
+            trace, "emit",
+            lambda *args, **kwargs: calls.append(("emit", args)))
+        monkeypatch.setattr(
+            trace, "span",
+            lambda *args, **kwargs: calls.append(("span", args)))
+        assert trace.enabled is False
+        out = str(tmp_path / "sweep.json")
+        assert main(["loadtest", "read_heavy", "--rate", "200",
+                     "--ops", "5", "--backend", "memory",
+                     "--out", out, "--no-predict"]) == 0
         assert calls == []
