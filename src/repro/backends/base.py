@@ -90,6 +90,11 @@ class Backend(abc.ABC):
 
     def __init__(self) -> None:
         self.object_accesses = 0
+        #: Records fully decoded from their byte form on a read path.
+        self.records_decoded = 0
+        #: Records (or frontier answers) served *without* a full decode —
+        #: lazy header-only reads and link-index traversal answers.
+        self.decodes_avoided = 0
         self.clock = SimClock()
         self.cost_model = CostModel()
 
@@ -107,9 +112,18 @@ class Backend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def read_object(self, oid: int) -> StoredObject:
+    def read_object(self, oid: int, lazy: bool = False) -> StoredObject:
         """Fetch one object; raise :class:`~repro.errors.UnknownObject`
-        if *oid* is not stored."""
+        if *oid* is not stored.
+
+        With ``lazy=True`` an engine that stores encoded records may
+        return a zero-copy
+        :class:`~repro.store.serializer.LazyStoredObject` (header parsed,
+        refs/back-refs deferred) and count it under
+        :attr:`decodes_avoided`.  Engines without a byte-level
+        representation ignore the flag — the record they hand back is
+        already the cheapest form they have.
+        """
 
     @abc.abstractmethod
     def write_object(self, record: StoredObject) -> None:
@@ -125,7 +139,8 @@ class Backend(abc.ABC):
 
     # -- batched access (the kernel's hot path) ------------------------- #
 
-    def read_many(self, oids: Sequence[int]) -> Dict[int, StoredObject]:
+    def read_many(self, oids: Sequence[int],
+                  lazy: bool = False) -> Dict[int, StoredObject]:
         """Fetch a batch of objects, keyed by oid.
 
         Duplicate oids are fetched once.  Raises
@@ -133,12 +148,13 @@ class Backend(abc.ABC):
         The fallback loops over :meth:`read_object` (in first-occurrence
         order, so cost accounting matches a hand-written loop); engines
         with a set-oriented access path override this with one query per
-        batch and set :attr:`supports_batched_reads`.
+        batch and set :attr:`supports_batched_reads`.  ``lazy`` has the
+        same meaning as on :meth:`read_object`.
         """
         records: Dict[int, StoredObject] = {}
         for oid in oids:
             if oid not in records:
-                records[oid] = self.read_object(oid)
+                records[oid] = self.read_object(oid, lazy=lazy)
         return records
 
     def write_many(self, records: Sequence[StoredObject]) -> None:
@@ -258,6 +274,8 @@ class Backend(abc.ABC):
     def reset_stats(self) -> None:
         """Zero the accounting counters (stored data is untouched)."""
         self.object_accesses = 0
+        self.records_decoded = 0
+        self.decodes_avoided = 0
 
     def current_order(self) -> List[int]:
         """Object ids in physical (or canonical) storage order."""

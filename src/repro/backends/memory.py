@@ -46,7 +46,10 @@ class MemoryBackend(Backend):
         self._objects = {record.oid: record for record in sequence}
         return len(self._objects)
 
-    def read_object(self, oid: int) -> StoredObject:
+    def read_object(self, oid: int, lazy: bool = False) -> StoredObject:
+        # ``lazy`` is accepted for surface compatibility but meaningless
+        # here: the dict already holds decoded records, so there is no
+        # decode to defer (and none to count).
         try:
             record = self._objects[oid]
         except KeyError:
@@ -85,7 +88,9 @@ class MemoryBackend(Backend):
     def stats(self) -> Dict[str, object]:
         return {"objects": len(self._objects),
                 "encoded_bytes": self._bytes,
-                "object_accesses": self.object_accesses}
+                "object_accesses": self.object_accesses,
+                "records_decoded": self.records_decoded,
+                "decodes_avoided": self.decodes_avoided}
 
     def close(self) -> None:
         self._objects.clear()

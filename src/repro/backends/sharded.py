@@ -200,21 +200,23 @@ class ShardedSQLiteBackend(Backend):
             units += self._engines[shard].bulk_load(partitions[shard])
         return units
 
-    def read_object(self, oid: int) -> StoredObject:
+    def read_object(self, oid: int, lazy: bool = False) -> StoredObject:
         shard = self.shard_of(oid)
-        record = self._engines[shard].read_object(oid)
+        record = self._engines[shard].read_object(oid, lazy=lazy)
         self.object_accesses += 1
         self._count_remote_read(shard)
         return record
 
-    def read_many(self, oids: Sequence[int]) -> Dict[int, StoredObject]:
+    def read_many(self, oids: Sequence[int],
+                  lazy: bool = False) -> Dict[int, StoredObject]:
         """One ``IN``-clause batch per touched shard, home shard first."""
         started = time.perf_counter() if trace.enabled else 0.0
         unique: List[int] = list(dict.fromkeys(oids))
         groups = self._group_by_shard(unique)
         fetched: Dict[int, StoredObject] = {}
         for shard in self._fanout_order(groups):
-            fetched.update(self._engines[shard].read_many(groups[shard]))
+            fetched.update(self._engines[shard].read_many(groups[shard],
+                                                          lazy=lazy))
             self._count_remote_read(shard, len(groups[shard]))
         self.object_accesses += len(unique)
         if trace.enabled:
@@ -406,6 +408,10 @@ class ShardedSQLiteBackend(Backend):
             "objects": sum(int(s["objects"]) for s in shard_stats),
             "objects_per_shard": [int(s["objects"]) for s in shard_stats],
             "object_accesses": self.object_accesses,
+            "records_decoded": sum(int(s["records_decoded"])
+                                   for s in shard_stats),
+            "decodes_avoided": sum(int(s["decodes_avoided"])
+                                   for s in shard_stats),
             "sql_round_trips": self.sql_round_trips,
             "busy_retries": self.busy_retries,
             "busy_wait_seconds": self.busy_wait_seconds,

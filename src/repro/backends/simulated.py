@@ -55,6 +55,14 @@ class SimulatedBackend(Backend):
         return self.store.object_accesses
 
     @property
+    def records_decoded(self) -> int:  # type: ignore[override]
+        return self.store.records_decoded
+
+    @property
+    def decodes_avoided(self) -> int:  # type: ignore[override]
+        return self.store.decodes_avoided
+
+    @property
     def page_size(self) -> int:
         return self.store.page_size
 
@@ -87,8 +95,8 @@ class SimulatedBackend(Backend):
                   order: Optional[Sequence[int]] = None) -> int:
         return self.store.bulk_load(records, order=order)
 
-    def read_object(self, oid: int) -> StoredObject:
-        return self.store.read_object(oid)
+    def read_object(self, oid: int, lazy: bool = False) -> StoredObject:
+        return self.store.read_object(oid, lazy=lazy)
 
     def write_object(self, record: StoredObject) -> None:
         self.store.write_object(record)
@@ -108,6 +116,8 @@ class SimulatedBackend(Backend):
             "io_reads": snap.io_reads,
             "io_writes": snap.io_writes,
             "buffer_hit_ratio": snap.buffer.hit_ratio,
+            "records_decoded": self.store.records_decoded,
+            "decodes_avoided": self.store.decodes_avoided,
             "sim_time": snap.sim_time,
         }
 

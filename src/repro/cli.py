@@ -48,7 +48,12 @@ mappings, the same emission convention as ``ocb scale --json``).
 
 ``run``, ``ops``, ``scenario`` and ``bench`` accept ``--trace FILE`` to
 stream per-operation trace records (:mod:`repro.obs.trace`) to a JSONL
-file; a per-name summary lands on stderr after the run.  ``ocb scale
+file; a per-name summary lands on stderr after the run.  ``run``,
+``ops``, ``scenario`` and ``loadtest`` accept ``--profile FILE`` to
+cProfile the whole command (:mod:`repro.obs.profiler`): a JSON report
+of per-function cumulative times goes to FILE and the top functions to
+stderr — the tool that shows ``decode_object`` falling off the hot
+path under the lazy record mode (``ocb scenario --lazy``).  ``ocb scale
 --json`` and ``ocb bench`` emit the one schema-versioned document shape
 of :mod:`repro.obs.results` (see ``docs/bench_schema.md``).
 """
@@ -137,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="FILE",
                      help="stream per-operation trace records to a "
                           "JSONL file (summary on stderr)")
+    run.add_argument("--profile", default=None, metavar="FILE",
+                     help="cProfile the whole command; JSON report to "
+                          "FILE, top functions on stderr")
 
     ops = sub.add_parser("ops", help="run the generic operation mix "
                                      "(insert/update/delete/range/scan)")
@@ -156,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
     ops.add_argument("--trace", default=None, metavar="FILE",
                      help="stream per-operation trace records to a "
                           "JSONL file (summary on stderr)")
+    ops.add_argument("--profile", default=None, metavar="FILE",
+                     help="cProfile the whole command; JSON report to "
+                          "FILE, top functions on stderr")
 
     scenario = sub.add_parser(
         "scenario", help="run a declarative WorkloadMix scenario "
@@ -204,12 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="MS",
                           help="per-connection busy budget in ms for "
                                "shared storage (default: 5000)")
+    scenario.add_argument("--lazy", action="store_true",
+                          help="serve reads as zero-copy lazy records "
+                               "(in-process runs only; identical logical "
+                               "results, no record decode on access)")
     scenario.add_argument("--json", action="store_true",
                           help="emit one machine-readable JSON document "
                                "instead of the tables")
     scenario.add_argument("--trace", default=None, metavar="FILE",
                           help="stream per-operation trace records to a "
                                "JSONL file (summary on stderr)")
+    scenario.add_argument("--profile", default=None, metavar="FILE",
+                          help="cProfile the whole command; JSON report "
+                               "to FILE, top functions on stderr")
 
     multiuser = sub.add_parser(
         "multiuser", help="run CLIENTN clients against one shared engine "
@@ -370,6 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream per-operation trace records "
                                "(loadgen.arrival / loadgen.late_start "
                                "spans included) to a JSONL file")
+    loadtest.add_argument("--profile", default=None, metavar="FILE",
+                          help="cProfile the whole command; JSON report "
+                               "to FILE, top functions on stderr")
 
     tables = sub.add_parser("tables", help="print the paper's parameter tables")
     tables.add_argument("--id", type=int, required=True, choices=(1, 2, 3))
@@ -623,6 +644,8 @@ def _cmd_scenario(args: argparse.Namespace) -> str:
         overrides["warm_ops"] = args.warm
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.lazy:
+        overrides["lazy"] = True
     if overrides:
         scenario = replace(scenario, **overrides)
     if scenario.backend in ("sqlite", "sharded-sqlite"):
@@ -1089,9 +1112,28 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
     if trace_path:
         from repro.obs import trace
         trace.enable(sink_path=trace_path)
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        from repro.obs import profiler
+        # Started last / stopped first, so the profile covers exactly
+        # the command body and none of the trace bookkeeping below.
+        profiler.enable()
     try:
         return _dispatch_command(parser, args)
     finally:
+        if profile_path:
+            report = profiler.disable()
+            if report is not None:
+                profiler.write_json(report, profile_path)
+                print(f"profile: {len(report.functions)} functions, "
+                      f"total {report.total_seconds:.3f} s "
+                      f"-> {profile_path}", file=sys.stderr)
+                for name, ncalls, tottime, cumtime \
+                        in profiler.summary(report):
+                    print(f"profile: {name}: {ncalls} x, "
+                          f"self {tottime * 1e3:.1f} ms, "
+                          f"cumulative {cumtime * 1e3:.1f} ms",
+                          file=sys.stderr)
         if trace_path:
             collector = trace.disable()
             if collector is not None:

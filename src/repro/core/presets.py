@@ -21,7 +21,8 @@ CLI and the benchmark harness.
 :mod:`repro.core.scenario`): named :class:`~repro.core.scenario.Scenario`
 factories covering the paper-default transaction mix plus the read/write
 shapes the legacy runners could not express — ``read_heavy``,
-``write_heavy``, ``mixed_oltp`` and ``scan_heavy``.
+``write_heavy``, ``mixed_oltp``, ``scan_heavy`` and the decode-free
+``graph_walk``.
 """
 
 from __future__ import annotations
@@ -381,6 +382,24 @@ def _scan_heavy_scenario() -> Scenario:
         clients=1, cold_ops=5, warm_ops=40)
 
 
+def _graph_walk_scenario() -> Scenario:
+    """Structure-only graph expansion over the SQLite link index.
+
+    Dominated by ``structure_traversal`` operations, which answer BFS
+    frontiers from the ``refs`` table alone — with ``ref_index`` enabled
+    the engine never decodes a record body, so this preset is the
+    canonical way to exercise (and CI-assert) a non-zero
+    ``decodes_avoided`` count."""
+    return Scenario(
+        mix=WorkloadMix(name="graph_walk", entries=(
+            MixEntry("structure_traversal", weight=0.80, depth=5),
+            MixEntry("range_lookup", weight=0.15, range_width=10),
+            MixEntry("sequential_scan", weight=0.05),
+        )),
+        clients=1, cold_ops=10, warm_ops=80,
+        backend="sqlite", backend_options={"ref_index": True})
+
+
 ScenarioFactory = Callable[[], Scenario]
 
 SCENARIO_PRESETS: Dict[str, ScenarioFactory] = {
@@ -389,6 +408,7 @@ SCENARIO_PRESETS: Dict[str, ScenarioFactory] = {
     "write_heavy": _write_heavy_scenario,
     "mixed_oltp": _mixed_oltp_scenario,
     "scan_heavy": _scan_heavy_scenario,
+    "graph_walk": _graph_walk_scenario,
 }
 
 

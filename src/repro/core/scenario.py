@@ -3,14 +3,16 @@
 OCB's central claim is *genericity* — one parameterized workload model
 that can imitate OO1, OO7 and HyperModel instead of hard-coding each.
 This module is that claim applied to the execution side.  A
-:class:`WorkloadMix` is a weighted union of the nine operation classes
+:class:`WorkloadMix` is a weighted union of the ten operation classes
 the reproduction knows:
 
 * the four OCB transaction types (``set``, ``simple``, ``hierarchy``,
   ``stochastic`` — Fig. 3 of the paper), and
-* the five generic operations of the paper's Section 5 future work
+* the six generic operations of the paper's Section 5 future work
   (``insert``, ``update``, ``delete``, ``range_lookup``,
-  ``sequential_scan``),
+  ``sequential_scan``, plus the decode-free ``structure_traversal``
+  that expands BFS frontiers through ``traverse_refs_many`` without
+  materializing a single record),
 
 each :class:`MixEntry` carrying its own parameters (depth, reverse
 probability, range width, …) and the mix carrying the think-time policy.
@@ -132,15 +134,17 @@ _SCAN_BATCH = 256
 
 TRANSACTION_CLASSES = ("set", "simple", "hierarchy", "stochastic")
 OPERATION_CLASSES = ("insert", "update", "delete", "range_lookup",
-                     "sequential_scan")
+                     "sequential_scan", "structure_traversal")
 MUTATING_CLASSES = frozenset(("insert", "update", "delete"))
 
-#: Canonical rendering order of the nine operation classes.
+#: Canonical rendering order of the ten operation classes.
 OPERATION_CLASS_ORDER = TRANSACTION_CLASSES + OPERATION_CLASSES
 
 #: Table 2's per-kind depth defaults, used when a MixEntry leaves depth
-#: unset.
-_DEFAULT_DEPTHS = {"set": 3, "simple": 3, "hierarchy": 5, "stochastic": 50}
+#: unset.  ``structure_traversal`` matches the hierarchy traversal's
+#: depth so the two are an apples-to-apples decode A/B.
+_DEFAULT_DEPTHS = {"set": 3, "simple": 3, "hierarchy": 5, "stochastic": 50,
+                   "structure_traversal": 5}
 
 
 #: Attribute used by range lookups: a pseudo-random but deterministic
@@ -158,6 +162,7 @@ class GenericOperation(str, Enum):
     DELETE = "delete"
     RANGE_LOOKUP = "range_lookup"
     SEQUENTIAL_SCAN = "sequential_scan"
+    STRUCTURE_TRAVERSAL = "structure_traversal"
 
 
 @dataclass(frozen=True)
@@ -458,6 +463,10 @@ class Scenario:
     backend_options: Dict[str, object] = field(default_factory=dict)
     seed: Optional[int] = None
     batch: Optional[bool] = None
+    #: Decode-free read mode: sessions ask the engine for lazy zero-copy
+    #: records (header parsed, refs/back-refs deferred).  Default off so
+    #: goldens and cost accounting stay byte-identical.
+    lazy: bool = False
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -485,6 +494,8 @@ class Scenario:
             spec["seed"] = self.seed
         if self.batch is not None:
             spec["batch"] = self.batch
+        if self.lazy:
+            spec["lazy"] = self.lazy
         return spec
 
     @classmethod
@@ -498,7 +509,7 @@ class Scenario:
             mix = WorkloadMix.from_dict(mix)
         options = dict(spec.pop("backend_options", {}) or {})
         unknown = set(spec) - {"clients", "cold_ops", "warm_ops", "backend",
-                               "seed", "batch"}
+                               "seed", "batch", "lazy"}
         if unknown:
             raise ParameterError(f"unknown Scenario keys {sorted(unknown)}")
         return cls(mix=mix, backend_options=options,
@@ -770,6 +781,11 @@ class ScenarioReport:
     #: Engine-level SQL statements executed (0 for non-SQL backends) —
     #: summed over workers when the scenario ran as processes.
     sql_round_trips: int = 0
+    #: Engine-level decode accounting: records fully decoded from bytes,
+    #: and reads/frontier answers served without a decode (lazy records
+    #: and link-index traversals).  Summed over workers for processes.
+    records_decoded: int = 0
+    decodes_avoided: int = 0
     #: Per-worker resource usage mappings when the scenario ran as
     #: monitored OS processes (see :class:`repro.obs.ResourceMonitor`).
     worker_resources: List[Dict[str, object]] = field(default_factory=list)
@@ -894,6 +910,8 @@ class ScenarioReport:
             "busy_wait_seconds": self.busy_wait_seconds,
             "remote_reads": self.remote_reads,
             "sql_round_trips": self.sql_round_trips,
+            "records_decoded": self.records_decoded,
+            "decodes_avoided": self.decodes_avoided,
             "read_misses": self.read_misses,
             "write_conflicts": self.write_conflicts,
             "late_starts": self.late_starts,
@@ -968,6 +986,8 @@ class ClientExecutor:
             "range_lookup": lambda entry: self.op_range_lookup(
                 width=entry.range_width),
             "sequential_scan": lambda entry: self.op_sequential_scan(),
+            "structure_traversal": lambda entry:
+                self.op_structure_traversal(entry),
         }
 
     # -- partition helpers ----------------------------------------------- #
@@ -1269,6 +1289,44 @@ class ClientExecutor:
             return len(order)
         return self._timed(GenericOperation.SEQUENTIAL_SCAN, body)
 
+    def op_structure_traversal(self, entry: MixEntry) -> OperationResult:
+        """BFS from a DIST5 root through the link structure, zero decode.
+
+        Frontiers expand via :meth:`Session.traverse_refs_many`: engines
+        with a link index answer each hop in one set-oriented round trip
+        without decoding a single record blob (counted under the
+        engine's ``decodes_avoided``); everywhere else the backend's
+        read-and-filter loop runs.  Depth and ``max_visits`` bound the
+        walk exactly like the transaction classes; the touched count is
+        the number of distinct objects whose structure was visited.
+        """
+        def body() -> int:
+            live = self._live_sorted()
+            if not live:
+                return 0
+            drawn = self.mix.dist5.draw(self.rng, 1, self.view.num_objects)
+            root = live[(drawn - 1) % len(live)]
+            visited = {root}
+            frontier = [root]
+            for _ in range(entry.resolved_depth):
+                if not frontier or len(visited) >= entry.max_visits:
+                    break
+                answers = self.session.traverse_refs_many(frontier)
+                frontier = []
+                for targets in answers.values():
+                    for target in targets:
+                        if len(visited) >= entry.max_visits:
+                            break
+                        # Skip edges into objects a concurrent client
+                        # deleted from this view; structure-only walks
+                        # tolerate them like read misses.
+                        if target not in visited \
+                                and target in self.view.objects:
+                            visited.add(target)
+                            frontier.append(target)
+            return len(visited)
+        return self._timed(GenericOperation.STRUCTURE_TRAVERSAL, body)
+
     def run_operation(self, entry: MixEntry) -> OperationResult:
         """Execute one generic-operation entry."""
         if entry.is_transaction:
@@ -1410,7 +1468,8 @@ class ScenarioRunner:
             session = Session(engine, policy=self.policy,
                               tref_table=view.tref_table(),
                               catalog=view.catalog(),
-                              batch=scenario.batch)
+                              batch=scenario.batch,
+                              lazy=scenario.lazy)
             executors.append(ClientExecutor(
                 view, self.mix, session, client_id=client,
                 total_clients=scenario.clients, seed=scenario.seed,
@@ -1473,7 +1532,9 @@ class ScenarioRunner:
             mode="interleaved",
             elapsed_seconds=elapsed,
             executed_parallel=False,
-            sql_round_trips=int(stats.get("sql_round_trips", 0) or 0))
+            sql_round_trips=int(stats.get("sql_round_trips", 0) or 0),
+            records_decoded=int(stats.get("records_decoded", 0) or 0),
+            decodes_avoided=int(stats.get("decodes_avoided", 0) or 0))
 
     # -- process execution ------------------------------------------------ #
 
@@ -1502,6 +1563,11 @@ class ScenarioRunner:
                 "run_processes() does not support clustering policies; "
                 "worker processes would each need their own policy "
                 "instance — run the scenario in-process instead")
+        if self.scenario.lazy:
+            raise WorkloadError(
+                "run_processes() does not thread the lazy decode mode "
+                "through worker processes yet; run the scenario "
+                "in-process instead")
         scenario = self.scenario
         carrier = WorkloadParameters(
             cold_n=scenario.cold_ops, hot_n=scenario.warm_ops,
@@ -1517,6 +1583,12 @@ class ScenarioRunner:
         sql_round_trips = sum(
             int((worker.backend_stats or {}).get("sql_round_trips", 0) or 0)
             for worker in parallel_report.workers)
+        records_decoded = sum(
+            int((worker.backend_stats or {}).get("records_decoded", 0) or 0)
+            for worker in parallel_report.workers)
+        decodes_avoided = sum(
+            int((worker.backend_stats or {}).get("decodes_avoided", 0) or 0)
+            for worker in parallel_report.workers)
         worker_resources = [
             dict(worker.resource_usage, worker=worker.worker_id)
             for worker in parallel_report.workers
@@ -1529,4 +1601,6 @@ class ScenarioRunner:
             elapsed_seconds=parallel_report.elapsed_seconds,
             executed_parallel=parallel_report.executed_parallel,
             sql_round_trips=sql_round_trips,
+            records_decoded=records_decoded,
+            decodes_avoided=decodes_avoided,
             worker_resources=worker_resources)

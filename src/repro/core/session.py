@@ -106,7 +106,8 @@ class Session:
                  policy: Optional[ClusteringPolicy] = None,
                  tref_table: Optional[Mapping[int, Tuple[int, ...]]] = None,
                  catalog: Optional[Mapping[int, int]] = None,
-                 batch: Optional[bool] = None) -> None:
+                 batch: Optional[bool] = None,
+                 lazy: bool = False) -> None:
         self.store = store
         self.policy = policy or NoClustering()
         self._tref_table = dict(tref_table or {})
@@ -116,6 +117,12 @@ class Session:
         self.batch_reads = batch and hasattr(store, "read_many")
         self.batch_writes = self.batch_reads and \
             bool(getattr(store, "supports_batched_writes", False))
+        #: Decode-free read mode: every read asks the engine for a lazy
+        #: zero-copy record (header parsed, refs/back-refs deferred).
+        #: Default off so default-path goldens and cost accounting stay
+        #: byte-identical; engines without a byte representation simply
+        #: ignore the flag.
+        self.lazy = bool(lazy)
         self._prefetched: Dict[int, StoredObject] = {}
 
     # ------------------------------------------------------------------ #
@@ -129,7 +136,8 @@ class Session:
                      policy: Optional[ClusteringPolicy] = None,
                      batch: Optional[bool] = None,
                      backend_options: Optional[dict] = None,
-                     load: bool = True) -> "Session":
+                     load: bool = True,
+                     lazy: bool = False) -> "Session":
         """Build a Session over *store* for a generated *database*.
 
         *store* may be a loaded :class:`ObjectStore`/:class:`Backend`
@@ -159,7 +167,7 @@ class Session:
             store.reset_stats()
         return cls(store, policy=policy,
                    tref_table=database.tref_table(),
-                   catalog=database.catalog(), batch=batch)
+                   catalog=database.catalog(), batch=batch, lazy=lazy)
 
     # ------------------------------------------------------------------ #
     # Catalog lookups (no I/O)
@@ -198,7 +206,7 @@ class Session:
         """
         record = self._prefetched.pop(oid, None) if self.batch_reads else None
         if record is None:
-            record = self.store.read_object(oid)
+            record = self._read_object(oid)
         source_oid = source.oid if source is not None else None
         if source is not None and ref_index is not None:
             if via_back_ref:
@@ -222,9 +230,20 @@ class Session:
         """
         record = self._prefetched.pop(oid, None) if self.batch_reads else None
         if record is None:
-            record = self.store.read_object(oid)
+            record = self._read_object(oid)
         self.policy.observe_access(source_oid, oid, None)
         return record
+
+    def _read_object(self, oid: int) -> StoredObject:
+        """One engine read, lazily decoded when the session is lazy.
+
+        The flag is only *passed* in lazy mode, so default sessions issue
+        the exact call they always have — stub stores in tests (and any
+        engine predating the flag) keep working unchanged.
+        """
+        if self.lazy:
+            return self.store.read_object(oid, lazy=True)
+        return self.store.read_object(oid)
 
     def prefetch(self, oids: Iterable[int]) -> int:
         """Batch-fetch *oids* into the decoded-record cache.
@@ -249,7 +268,10 @@ class Session:
                    if oid not in self._prefetched]
         if not missing:
             return 0
-        self._prefetched.update(self.store.read_many(missing))
+        if self.lazy:
+            self._prefetched.update(self.store.read_many(missing, lazy=True))
+        else:
+            self._prefetched.update(self.store.read_many(missing))
         return len(missing)
 
     def traverse_refs_many(self, oids: Iterable[int]

@@ -7,6 +7,10 @@ them without cycles:
   in-process collector and an optional JSONL sink.  Emission is guarded
   by a module flag (``trace.enabled``) so a traced-off run executes no
   tracer code at all on the paths PR 2/4 optimized.
+* :mod:`repro.obs.profiler` — :mod:`cProfile` behind the same
+  off-by-default module switch: ``--profile FILE`` wraps a whole CLI
+  command and answers *which functions* burned the time (the tracer
+  answers *which spans*).
 * :mod:`repro.obs.monitor` — a background resource sampler (CPU time
   via :func:`os.times`, RSS via ``/proc/self/status`` with a
   ``getrusage`` fallback — no psutil dependency) plus
@@ -25,7 +29,7 @@ imported explicitly — it is *not* pulled in here, so backends and the
 kernel can import ``repro.obs`` without a cycle.
 """
 
-from repro.obs import trace
+from repro.obs import profiler, trace
 from repro.obs.latency import LatencyCollector, LatencyHistogram
 from repro.obs.monitor import ResourceMonitor, ResourceUsage, system_info
 from repro.obs.results import (
@@ -38,6 +42,7 @@ from repro.obs.results import (
 )
 
 __all__ = [
+    "profiler",
     "trace",
     "LatencyCollector",
     "LatencyHistogram",

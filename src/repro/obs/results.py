@@ -49,10 +49,14 @@ SCHEMA_VERSION = 1
 #: write-throughput curve of ``bench_parallel.py --backend
 #: sharded-sqlite``; ``load_sweep`` is the ``ocb loadtest``
 #: offered-rate sweep (one cell per rate, coordinated-omission-correct
-#: latency split + DES-predicted waits); the other three are the
-#: unified shapes of the pre-existing harnesses.
+#: latency split + DES-predicted waits); ``decode_fastpath`` is the
+#: ``bench_decode.py`` A/B — decoded vs lazy vs structure-only cells
+#: over the same mix, with the decode counters alongside the latency
+#: tail; the other three are the unified shapes of the pre-existing
+#: harnesses.
 KINDS = ("matrix", "scale_sweep", "parallel_scaling",
-         "scenario_contention", "shard_scaling", "load_sweep")
+         "scenario_contention", "shard_scaling", "load_sweep",
+         "decode_fastpath")
 
 #: Keys every ``system`` mapping must carry.
 _SYSTEM_KEYS = ("git_rev", "platform", "python", "cpu_count", "hostname")

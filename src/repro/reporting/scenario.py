@@ -1,7 +1,7 @@
 """Scenario-report rendering: per-class breakdowns and per-client tables.
 
 The declarative scenario layer (:mod:`repro.core.scenario`) reports per
-*operation class* — the four OCB transaction types and the five generic
+*operation class* — the four OCB transaction types and the six generic
 operations in one table — plus the per-client contention counters that
 only exist once mixes can mutate (busy retries, write conflicts, read
 misses).  Rendered with the same ASCII helpers as every other report.

@@ -30,7 +30,8 @@ from repro.errors import ParameterError, StorageError, UnknownObject
 from repro.store.buffer import BufferPool, BufferStats, ReplacementPolicy
 from repro.store.costs import DEFAULT_PAGE_SIZE, CostModel, SimClock
 from repro.store.disk import DiskStats, SimulatedDisk
-from repro.store.serializer import StoredObject, decode_object, encode_object
+from repro.store.serializer import StoredObject, decode_object, \
+    decode_object_lazy, encode_object
 from repro.store.swizzle import SwizzleStats, SwizzleTable
 
 __all__ = ["StoreConfig", "StoreSnapshot", "ReorganizationStats",
@@ -167,6 +168,10 @@ class ObjectStore:
             if track_swizzling else None
         self.page_size = page_size
         self.object_accesses = 0
+        #: Records fully decoded from their byte form (read path misses).
+        self.records_decoded = 0
+        #: Reads answered without a full decode (lazy header-only views).
+        self.decodes_avoided = 0
         self._directory: Dict[int, Tuple[int, int]] = {}
         self._page_objects: Dict[int, Set[int]] = {}
         self._live: Dict[int, StoredObject] = {}
@@ -217,8 +222,14 @@ class ObjectStore:
     # Read path
     # ------------------------------------------------------------------ #
 
-    def read_object(self, oid: int) -> StoredObject:
-        """Fetch one object, faulting in pages and swizzling as needed."""
+    def read_object(self, oid: int, lazy: bool = False) -> StoredObject:
+        """Fetch one object, faulting in pages and swizzling as needed.
+
+        With ``lazy=True`` a cache miss hands back a zero-copy
+        :class:`~repro.store.serializer.LazyStoredObject` (header parsed,
+        refs/back-refs deferred) instead of a fully decoded record; the
+        accounting (page faults, swizzling, clock) is identical.
+        """
         try:
             offset, length = self._directory[oid]
         except KeyError:
@@ -233,7 +244,12 @@ class ObjectStore:
             return cached
 
         data = self._fetch_bytes(offset, length)
-        record = decode_object(data)
+        if lazy:
+            self.decodes_avoided += 1
+            record = decode_object_lazy(data)
+        else:
+            self.records_decoded += 1
+            record = decode_object(data)
         self._live[oid] = record
         return record
 
@@ -500,6 +516,8 @@ class ObjectStore:
         if self.swizzle is not None:
             self.swizzle.reset_stats()
         self.object_accesses = 0
+        self.records_decoded = 0
+        self.decodes_avoided = 0
 
     def drop_caches(self) -> None:
         """Empty the buffer pool and decoded cache (a "cold" restart)."""

@@ -1,0 +1,149 @@
+"""Profiler behaviour: reports, shares, JSON, zero overhead when off."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import profiler
+
+
+@pytest.fixture(autouse=True)
+def _profiling_off_after():
+    yield
+    profiler.disable()
+
+
+def _busy(n=20000):
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert profiler.enabled is False
+
+    def test_enable_sets_the_flag_and_disable_clears_it(self):
+        profiler.enable()
+        assert profiler.enabled is True
+        profiler.disable()
+        assert profiler.enabled is False
+
+    def test_disable_without_enable_returns_none(self):
+        assert profiler.disable() is None
+
+    def test_disable_returns_a_report_with_profiled_functions(self):
+        profiler.enable()
+        _busy()
+        report = profiler.disable()
+        assert report is not None
+        assert report.total_seconds >= 0.0
+        assert any("_busy" in stat.name for stat in report.functions)
+
+    def test_reenable_restarts_with_a_fresh_profile(self):
+        profiler.enable()
+        _busy()
+        profiler.enable()
+        report = profiler.disable()
+        assert report is not None
+        # The first window's profile must not survive the restart.
+        assert profiler.disable() is None
+
+    def test_functions_sorted_by_cumulative_time(self):
+        profiler.enable()
+        _busy()
+        report = profiler.disable()
+        cumtimes = [stat.cumtime for stat in report.functions]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+
+class TestSummaryAndShare:
+    def test_summary_returns_top_n_rows(self):
+        profiler.enable()
+        _busy()
+        report = profiler.disable()
+        rows = profiler.summary(report, top=3)
+        assert len(rows) <= 3
+        name, ncalls, tottime, cumtime = rows[0]
+        assert isinstance(name, str) and ncalls >= 1
+        assert cumtime >= tottime >= 0.0
+
+    def test_summary_of_none_is_empty(self):
+        assert profiler.summary(None) == []
+
+    def test_cumulative_share_finds_the_hot_function(self):
+        profiler.enable()
+        _busy(200000)
+        report = profiler.disable()
+        share = profiler.cumulative_share(report, "_busy")
+        assert 0.0 < share <= 1.0
+
+    def test_cumulative_share_of_unknown_name_is_zero(self):
+        profiler.enable()
+        _busy()
+        report = profiler.disable()
+        assert profiler.cumulative_share(report, "no_such_fn") == 0.0
+        assert profiler.cumulative_share(None, "_busy") == 0.0
+
+
+class TestJsonRoundTrip:
+    def test_write_json_and_load_report(self, tmp_path):
+        profiler.enable()
+        _busy()
+        report = profiler.disable()
+        path = str(tmp_path / "profile.json")
+        profiler.write_json(report, path)
+        document = json.loads(open(path).read())
+        assert document["total_seconds"] == report.total_seconds
+        loaded = profiler.load_report(path)
+        assert loaded.total_seconds == report.total_seconds
+        assert loaded.functions[:5] == report.functions[:5]
+
+    def test_write_json_caps_the_function_list(self, tmp_path):
+        profiler.enable()
+        _busy()
+        report = profiler.disable()
+        path = str(tmp_path / "tiny.json")
+        profiler.write_json(report, path, top=2)
+        assert len(profiler.load_report(path).functions) <= 2
+
+
+class TestZeroOverheadWhenOff:
+    def test_unprofiled_run_executes_no_profiler_code(self, monkeypatch):
+        """A full `ocb run` without --profile never touches the profiler.
+
+        The CLI only imports and enables the profiler when --profile
+        was passed, so replacing enable/disable with spies must observe
+        zero calls on the end-to-end path — the same pin the tracer
+        carries in test_trace.py.
+        """
+        from repro.cli import main
+
+        calls = []
+        monkeypatch.setattr(
+            profiler, "enable",
+            lambda *args, **kwargs: calls.append("enable"))
+        monkeypatch.setattr(
+            profiler, "disable",
+            lambda *args, **kwargs: calls.append("disable"))
+        assert profiler.enabled is False
+        assert main(["run", "--backend", "sqlite"]) == 0
+        assert calls == []
+        assert profiler.enabled is False
+
+    def test_profiled_scenario_writes_report_and_prints_summary(
+            self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "profile.json")
+        assert main(["scenario", "read_heavy", "--warm", "5",
+                     "--cold", "1", "--profile", out]) == 0
+        captured = capsys.readouterr()
+        assert "profile:" in captured.err
+        report = profiler.load_report(out)
+        assert any("scenario" in stat.name for stat in report.functions)
+        # The dispatcher turned it off again on the way out.
+        assert profiler.enabled is False
