@@ -1,0 +1,270 @@
+"""Concurrent I/O benchmark: sequential vs shard fan-out vs pipelined.
+
+One generated database loaded into three engine configurations, and the
+same set of BFS frontier expansions walked through each:
+
+* **sequential** — a 2-shard :class:`ShardedSQLiteBackend` with the
+  concurrent fan-out off: touched shards answer one after another on
+  the coordinator thread, the pre-pipeline cost;
+* **fanout** — the same sharded engine with ``concurrent_fanout=True``:
+  every touched shard's ``IN``-clause batch runs simultaneously on a
+  pooled read connection (one executor task per shard);
+* **pipelined** — the single-file :class:`PipelinedSQLiteBackend`: each
+  frontier batch splits into ``pool_size`` sub-batches executed
+  concurrently against pooled connections to the one file.
+
+All three modes expand identical precomputed frontiers (the equivalence
+is asserted), so the wall-clock ratio is a pure I/O-overlap
+measurement — and, host speed aside, the *structural* overlap counters
+are pinned exactly: the fan-out engine's ``concurrent_batches`` equals
+the touched-shard count, ``max_inflight_reads`` exceeds 1 whenever
+reads genuinely overlapped, and the sequential engine's peak never
+leaves 1.  The run lands as one schema-versioned ``pipeline_fanout``
+document; ``BENCH_pipeline_baseline.json`` is the committed trajectory
+the CI ``pipeline-smoke`` leg gates with ``ocb bench --compare``.
+
+Runs as a plain pytest module (no pytest-benchmark required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py -q
+
+Set ``BENCH_PIPELINE_OUT=/path/to.json`` to persist the document (the
+CI leg does, to feed the compare gate).  Wall-clock depends on the
+host — assertions pin structure (identical answers, overlap counters,
+batch splits), never a millisecond value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+try:
+    from conftest import term_print
+except ImportError:
+    def term_print(*args, **kwargs):
+        print(*args, **kwargs)
+
+from repro.backends.pipelined import PipelinedSQLiteBackend
+from repro.backends.sharded import ShardedSQLiteBackend
+from repro.core.generation import generate_database
+from repro.core.presets import default_database_parameters
+from repro.core.session import Session, _PIPELINE_CHUNK
+
+#: Scaled-down database; the seed is the paper's conference date.
+DB_SCALE = 0.1
+SEED = 19980323  # EDBT '98.
+WALKS = 50
+DEPTH = 5
+MAX_VISITS = 512
+SHARDS = 2
+POOL_SIZE = 2
+
+MODES = ("sequential", "fanout", "pipelined")
+
+
+def _percentile(sorted_seconds, fraction):
+    index = min(len(sorted_seconds) - 1,
+                max(0, int(fraction * len(sorted_seconds))))
+    return sorted_seconds[index] * 1e3
+
+
+def _roots(database):
+    """WALKS deterministic roots, spread across the oid space."""
+    oids = sorted(database.objects)
+    step = max(1, len(oids) // WALKS)
+    return [oids[(i * step) % len(oids)] for i in range(WALKS)]
+
+
+def _expand(backend, frontier):
+    """One frontier's structure-only expansion, frontier order."""
+    answers = backend.traverse_refs_many(frontier)
+    targets = []
+    for oid in frontier:
+        targets.extend(answers[oid])
+    return targets
+
+
+@pytest.fixture(scope="module")
+def database():
+    db, _ = generate_database(
+        default_database_parameters(scale=DB_SCALE, seed=SEED))
+    return db
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory, database):
+    """The three engine configurations, loaded with the same database."""
+    root = tmp_path_factory.mktemp("pipeline")
+    backends = {
+        "sequential": ShardedSQLiteBackend(
+            path=str(root / "seq"), shards=SHARDS),
+        "fanout": ShardedSQLiteBackend(
+            path=str(root / "fan"), shards=SHARDS,
+            concurrent_fanout=True, pool_size=POOL_SIZE),
+        "pipelined": PipelinedSQLiteBackend(
+            path=str(root / "pipe.db"), ref_index=True,
+            pool_size=POOL_SIZE + 1),
+    }
+    for backend in backends.values():
+        database.load_into(backend)
+    yield backends
+    for backend in backends.values():
+        backend.close()
+
+
+@pytest.fixture(scope="module")
+def frontiers(env, database):
+    """Every frontier the WALKS walks expand, precomputed once.
+
+    All modes expand identical frontiers (the equivalence test pins
+    it), so the sequence is mode-independent — and timing only the
+    expansion of each precomputed frontier keeps the BFS bookkeeping
+    (visited sets, frontier rebuilds, identical client-side work) out
+    of the A/B.  What remains per mode is exactly the cost the
+    concurrent I/O layer attacks: the engine round trips.
+    """
+    backend = env["sequential"]
+    sequences = []
+    for root in _roots(database):
+        visited = {root}
+        frontier = [root]
+        for _ in range(DEPTH):
+            if not frontier or len(visited) >= MAX_VISITS:
+                break
+            sequences.append(list(frontier))
+            targets = _expand(backend, frontier)
+            frontier = []
+            for target in targets:
+                if len(visited) >= MAX_VISITS:
+                    break
+                if target not in visited:
+                    visited.add(target)
+                    frontier.append(target)
+    return sequences
+
+
+@pytest.fixture(scope="module")
+def cells(env, frontiers):
+    measured = []
+    for mode in MODES:
+        backend = env[mode]
+        # One untimed pass so every mode sees hot page caches (and the
+        # pools' read connections are already open when timing starts).
+        for frontier in frontiers:
+            _expand(backend, frontier)
+        backend.reset_stats()
+        expansion_seconds = []
+        targets_total = 0
+        started = time.perf_counter()
+        for frontier in frontiers:
+            expansion_start = time.perf_counter()
+            targets = _expand(backend, frontier)
+            expansion_seconds.append(time.perf_counter() - expansion_start)
+            targets_total += len(targets)
+        elapsed = time.perf_counter() - started
+        stats = backend.stats()
+        expansion_seconds.sort()
+        measured.append({
+            "key": f"{backend.name}/pipeline_walk/c1/{mode}",
+            "backend": backend.name,
+            "scenario": "pipeline_walk",
+            "clients": 1,
+            "mode": mode,
+            "operations": len(frontiers),
+            "write_operations": 0,
+            "targets": targets_total,
+            "elapsed_seconds": elapsed,
+            "throughput": len(frontiers) / elapsed if elapsed > 0 else 0.0,
+            "wall_p50_ms": _percentile(expansion_seconds, 0.50),
+            "wall_p95_ms": _percentile(expansion_seconds, 0.95),
+            "wall_p99_ms": _percentile(expansion_seconds, 0.99),
+            "sql_round_trips": int(stats["sql_round_trips"]),
+            "concurrent_batches": int(stats["concurrent_batches"]),
+            "max_inflight_reads": int(stats["max_inflight_reads"]),
+            "pool_wait_seconds": float(stats["pool_wait_seconds"]),
+        })
+    return measured
+
+
+def test_modes_answer_identically(env, frontiers):
+    """The ratio only means something if the engines do the same work."""
+    for frontier in frontiers[:25]:
+        sequential = env["sequential"].traverse_refs_many(frontier)
+        assert env["fanout"].traverse_refs_many(frontier) == sequential
+        assert env["pipelined"].traverse_refs_many(frontier) == sequential
+        assert list(sequential) == list(dict.fromkeys(frontier))
+
+
+def test_fanout_covers_every_touched_shard(env, frontiers):
+    """``concurrent_batches`` == touched shards on a multi-shard read."""
+    backend = env["fanout"]
+    frontier = next(f for f in frontiers
+                    if len({oid % SHARDS for oid in f}) == SHARDS)
+    backend.reset_stats()
+    backend.traverse_refs_many(frontier)
+    stats = backend.stats()
+    assert stats["concurrent_batches"] == SHARDS
+    assert stats["max_inflight_reads"] == SHARDS
+
+
+def test_overlap_counters_split_by_mode(cells):
+    by_mode = {cell["mode"]: cell for cell in cells}
+    # Sequential: one batch after another, nothing ever in flight.
+    assert by_mode["sequential"]["max_inflight_reads"] <= 1
+    assert by_mode["sequential"]["concurrent_batches"] <= 1
+    assert by_mode["sequential"]["pool_wait_seconds"] == 0.0
+    # Fan-out: both shards' batches genuinely in flight together.
+    assert by_mode["fanout"]["max_inflight_reads"] > 1
+    assert by_mode["fanout"]["concurrent_batches"] == SHARDS
+    # Pipelined: multi-oid batches split into concurrent sub-batches.
+    assert by_mode["pipelined"]["max_inflight_reads"] > 1
+    assert by_mode["pipelined"]["concurrent_batches"] >= 2
+    # Identical logical work, mode over mode.
+    assert by_mode["sequential"]["targets"] \
+        == by_mode["fanout"]["targets"] == by_mode["pipelined"]["targets"]
+
+
+def test_pipelined_bfs_session_equivalence(env, database):
+    """The session's one-chunk-ahead BFS returns the sequential answers.
+
+    A frontier wider than the pipeline chunk forces the chunked path
+    (ceil(len/chunk) yields, the next chunk in flight while the caller
+    consumes the current one); folding the yielded answers in order
+    must reproduce the single sequential round trip exactly.
+    """
+    backend = env["pipelined"]
+    frontier = sorted(database.objects)[:3 * _PIPELINE_CHUNK - 7]
+    session = Session(backend, pipeline=True)
+    assert session.pipeline
+    chunks = 0
+    merged = {}
+    for answers in session.iter_frontier_refs(frontier):
+        chunks += 1
+        merged.update(answers)
+    assert chunks == 3
+    assert merged == env["sequential"].traverse_refs_many(frontier)
+
+    off = Session(backend, pipeline=False)
+    answers = list(off.iter_frontier_refs(frontier))
+    assert len(answers) == 1
+    assert answers[0] == merged
+
+
+def test_document_round_trips_and_persists(cells):
+    from repro.obs import results
+    document = results.build_document(
+        kind="pipeline_fanout",
+        cells=cells,
+        config={"db_scale": DB_SCALE, "seed": SEED, "walks": WALKS,
+                "depth": DEPTH, "max_visits": MAX_VISITS,
+                "shards": SHARDS, "pool_size": POOL_SIZE},
+        name="bench_pipeline")
+    term_print(json.dumps(document, indent=2))
+    assert results.validate_document(document) is document
+    out = os.environ.get("BENCH_PIPELINE_OUT")
+    if out:
+        written = results.write_document(document, path=out)
+        term_print(f"bench_pipeline: wrote {written}")

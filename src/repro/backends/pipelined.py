@@ -1,0 +1,328 @@
+"""Pipelined SQLite backend — one file, K read statements in flight.
+
+The sharded engine overlaps reads *across* database files; this engine
+overlaps them *within* one.  Any :meth:`read_many` /
+:meth:`traverse_refs_many` batch is split into up to ``pool_size``
+sub-batches, each executed on its own pooled read connection
+(:class:`~repro.backends.pool.ConnectionPool`) by a small thread pool —
+SQLite's C calls release the GIL, so one sub-batch's blob decode
+overlaps another's page I/O even on a single file.
+
+The engine also implements the submit/collect half of the protocol
+(:meth:`submit_read_many` / :meth:`submit_traverse_refs_many` return a
+:class:`~repro.backends.pool.DeferredHandle` with the sub-batches
+already in flight), which is what the session kernel's pipelined BFS
+builds on: the *next* frontier's read is submitted while the current
+frontier's references are still being processed.
+
+Accounting honesty mirrors the sharded fan-out: fetch tasks touch no
+counters; the collect side folds round trips, decode counts and the
+missing-oid check on the calling thread, so ``stats()`` stays
+single-threaded and comparable with the sequential engine.  Round-trip
+counts *do* differ from the sequential engine's — splitting a frontier
+into K sub-batches issues K statements where one sufficed; that is the
+price of overlap and it is reported, not hidden.
+
+``:memory:`` databases cannot be pooled (a second connection sees a
+different, empty database), so the engine degrades to the plain
+sequential :class:`~repro.backends.sqlite.SQLiteBackend` behaviour with
+``max_inflight_reads`` honestly pinned at its sequential value.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import ReadHandle
+from repro.backends.pool import ConnectionPool, DeferredHandle, InflightGauge
+from repro.backends.sqlite import SQLiteBackend, _MAX_BATCH_VARIABLES
+from repro.errors import BackendError, UnknownObject
+from repro.obs import trace
+from repro.store.costs import DEFAULT_PAGE_SIZE
+from repro.store.serializer import StoredObject, decode_object, \
+    decode_object_lazy, decode_refs
+
+__all__ = ["PipelinedSQLiteBackend", "DEFAULT_POOL_SIZE"]
+
+#: Default read-connection pool size (sub-batch fan-out width).
+DEFAULT_POOL_SIZE = 2
+
+
+class PipelinedSQLiteBackend(SQLiteBackend):
+    """Single-file SQLite with pooled, concurrently executed sub-batches."""
+
+    name = "pipelined-sqlite"
+
+    def __init__(self, path: str = ":memory:",
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 cache_pages: int = 128,
+                 synchronous: str = "OFF",
+                 journal_mode: str = "MEMORY",
+                 busy_timeout_ms: int = SQLiteBackend.DEFAULT_BUSY_TIMEOUT_MS,
+                 ref_index: bool = False,
+                 pool_size: int = DEFAULT_POOL_SIZE) -> None:
+        if pool_size < 1:
+            raise BackendError(f"pool_size must be >= 1, got {pool_size}")
+        super().__init__(path=path, page_size=page_size,
+                         cache_pages=cache_pages, synchronous=synchronous,
+                         journal_mode=journal_mode,
+                         busy_timeout_ms=busy_timeout_ms,
+                         ref_index=ref_index)
+        self.pool_size = int(pool_size)
+        #: Effective only for file databases with a pool worth the name:
+        #: ``:memory:`` cannot serve a second connection and a pool of 1
+        #: has nothing to overlap — both keep the sequential path (and
+        #: its honest counters: peaks stay at the sequential value).
+        self._fanout_enabled = (self.path != ":memory:"
+                                and self.pool_size > 1)
+        self.supports_async_reads = self._fanout_enabled
+        self._pool: Optional[ConnectionPool] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inflight = InflightGauge()
+        #: Peak sub-batches submitted as one concurrent group (1 when
+        #: every batch was too small to split or fan-out is disabled).
+        self.concurrent_batches = 0
+
+    # -- fan-out plumbing ----------------------------------------------- #
+
+    def _read_pool(self) -> ConnectionPool:
+        if self._pool is None:
+            self._pool = ConnectionPool(self._open_read_connection,
+                                        size=self.pool_size,
+                                        name=self.path)
+        return self._pool
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.pool_size,
+                thread_name_prefix="ocb-pipeline-read")
+        return self._executor
+
+    def _sub_batches(self, unique: Sequence[int]) -> List[List[int]]:
+        """Split a deduplicated batch into up to ``pool_size`` slices.
+
+        Slices are contiguous runs of the first-occurrence order, sized
+        evenly, each further bounded by the SQL variable limit; a batch
+        smaller than two oids per slice just uses fewer slices.
+        """
+        width = min(self.pool_size, len(unique))
+        size = -(-len(unique) // width)  # ceil division
+        size = min(max(size, 1), _MAX_BATCH_VARIABLES)
+        return [list(unique[start:start + size])
+                for start in range(0, len(unique), size)]
+
+    def _fetch_chunk(self, chunk: Sequence[int],
+                     lazy: bool) -> Tuple[Dict[int, StoredObject], int]:
+        """One sub-batch, on a pooled connection (executor thread).
+
+        Counters are untouched here — the collect side folds the
+        returned round-trip count on the coordinator thread.
+        """
+        started = time.perf_counter() if trace.enabled else 0.0
+        decode = decode_object_lazy if lazy else decode_object
+        records: Dict[int, StoredObject] = {}
+        round_trips = 0
+        with self._read_pool().acquire() as conn:
+            for start in range(0, len(chunk), _MAX_BATCH_VARIABLES):
+                piece = chunk[start:start + _MAX_BATCH_VARIABLES]
+                placeholders = ",".join("?" * len(piece))
+                round_trips += 1
+                for oid, data in conn.execute(
+                        f"SELECT oid, data FROM objects "
+                        f"WHERE oid IN ({placeholders})", piece):
+                    records[oid] = decode(data)
+        if trace.enabled:
+            trace.emit("pool.read", time.perf_counter() - started,
+                       pool=self.path, oids=len(chunk))
+        return records, round_trips
+
+    def _fetch_chunk_refs(self, chunk: Sequence[int]
+                          ) -> Tuple[Dict[int, Tuple[int, ...]], int]:
+        """Structure-only sub-batch (see :meth:`_fetch_chunk`)."""
+        started = time.perf_counter() if trace.enabled else 0.0
+        refs: Dict[int, Tuple[int, ...]] = {}
+        round_trips = 0
+        with self._read_pool().acquire() as conn:
+            for start in range(0, len(chunk), _MAX_BATCH_VARIABLES):
+                piece = chunk[start:start + _MAX_BATCH_VARIABLES]
+                placeholders = ",".join("?" * len(piece))
+                round_trips += 1
+                for oid, data in conn.execute(
+                        f"SELECT oid, data FROM objects "
+                        f"WHERE oid IN ({placeholders})", piece):
+                    refs[oid] = decode_refs(data)
+        if trace.enabled:
+            trace.emit("pool.read", time.perf_counter() - started,
+                       pool=self.path, oids=len(chunk),
+                       structure_only=True)
+        return refs, round_trips
+
+    # -- submit/collect protocol ---------------------------------------- #
+
+    def submit_read_many(self, oids: Sequence[int],
+                         lazy: bool = False) -> "ReadHandle | DeferredHandle":
+        """Put a batch's sub-batches in flight; collect folds counters.
+
+        The main connection's buffered writes are committed first so the
+        pooled readers (separate connections) see current data — the
+        sequential path reads its own uncommitted state, and equivalence
+        across modes depends on publishing it.
+        """
+        if not self._fanout_enabled:
+            return ReadHandle(self.read_many(oids, lazy=lazy))
+        unique: List[int] = list(dict.fromkeys(oids))
+        if len(unique) < 2:
+            return ReadHandle(self.read_many(oids, lazy=lazy))
+        started = time.perf_counter() if trace.enabled else 0.0
+        self._commit()  # Publish buffered writes to the pooled readers.
+        chunks = self._sub_batches(unique)
+        executor = self._ensure_executor()
+        self._inflight.enter(len(chunks))
+        self.concurrent_batches = max(self.concurrent_batches, len(chunks))
+        futures = [executor.submit(self._fetch_chunk, chunk, lazy)
+                   for chunk in chunks]
+
+        def collect() -> Dict[int, StoredObject]:
+            fetched: Dict[int, StoredObject] = {}
+            outstanding = len(futures)
+            try:
+                for future in futures:
+                    records, round_trips = future.result()
+                    self._inflight.exit()
+                    outstanding -= 1
+                    self.sql_round_trips += round_trips
+                    fetched.update(records)
+            finally:
+                if outstanding:
+                    self._inflight.exit(outstanding)
+            if lazy:
+                self.decodes_avoided += len(fetched)
+            else:
+                self.records_decoded += len(fetched)
+            if len(fetched) != len(unique):
+                missing = next(oid for oid in unique if oid not in fetched)
+                raise UnknownObject(missing)
+            self.object_accesses += len(unique)
+            if trace.enabled:
+                trace.emit("pipelined.read_many",
+                           time.perf_counter() - started,
+                           oids=len(unique), sub_batches=len(chunks))
+            return {oid: fetched[oid] for oid in unique}
+
+        return DeferredHandle(collect)
+
+    def submit_traverse_refs_many(self, oids: Sequence[int]
+                                  ) -> "ReadHandle | DeferredHandle":
+        """Structure-only sub-batches in flight at once."""
+        if not self._fanout_enabled:
+            return ReadHandle(self.traverse_refs_many(oids))
+        unique: List[int] = list(dict.fromkeys(oids))
+        if len(unique) < 2:
+            return ReadHandle(self.traverse_refs_many(oids))
+        started = time.perf_counter() if trace.enabled else 0.0
+        self._commit()
+        chunks = self._sub_batches(unique)
+        executor = self._ensure_executor()
+        self._inflight.enter(len(chunks))
+        self.concurrent_batches = max(self.concurrent_batches, len(chunks))
+        futures = [executor.submit(self._fetch_chunk_refs, chunk)
+                   for chunk in chunks]
+
+        def collect() -> Dict[int, Tuple[int, ...]]:
+            refs: Dict[int, Tuple[int, ...]] = {}
+            outstanding = len(futures)
+            try:
+                for future in futures:
+                    answered, round_trips = future.result()
+                    self._inflight.exit()
+                    outstanding -= 1
+                    self.sql_round_trips += round_trips
+                    refs.update(answered)
+            finally:
+                if outstanding:
+                    self._inflight.exit(outstanding)
+            if len(refs) != len(unique):
+                missing = next(oid for oid in unique if oid not in refs)
+                raise UnknownObject(missing)
+            self.object_accesses += len(unique)
+            self.decodes_avoided += len(unique)
+            if trace.enabled:
+                trace.emit("pipelined.traverse_refs_many",
+                           time.perf_counter() - started,
+                           oids=len(unique), sub_batches=len(chunks))
+            return {oid: refs[oid] for oid in unique}
+
+        return DeferredHandle(collect)
+
+    # -- batched reads route through the pool when it helps ------------- #
+
+    def read_many(self, oids: Sequence[int],
+                  lazy: bool = False) -> Dict[int, StoredObject]:
+        if self._fanout_enabled and len(dict.fromkeys(oids)) >= 2:
+            return self.submit_read_many(oids, lazy=lazy).result()
+        return super().read_many(oids, lazy=lazy)
+
+    def traverse_refs_many(self, oids: Sequence[int]
+                           ) -> Dict[int, Tuple[int, ...]]:
+        if self._fanout_enabled and len(dict.fromkeys(oids)) >= 2:
+            return self.submit_traverse_refs_many(oids).result()
+        return super().traverse_refs_many(oids)
+
+    # -- lifecycle / accounting ----------------------------------------- #
+
+    def drop_caches(self) -> bool:
+        # Pooled read connections hold their own pager caches — recycle
+        # them so cold means cold on every connection.
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        return super().drop_caches()
+
+    def connect_worker(self) -> "PipelinedSQLiteBackend":
+        if self.path == ":memory:":
+            raise BackendError(
+                "a ':memory:' SQLite database cannot be shared between "
+                "connections; use a file path for concurrent runs")
+        self._commit()
+        return PipelinedSQLiteBackend(path=self.path,
+                                      page_size=self.page_size,
+                                      cache_pages=self.cache_pages,
+                                      synchronous=self.synchronous,
+                                      journal_mode=self.journal_mode,
+                                      busy_timeout_ms=self.busy_timeout_ms,
+                                      ref_index=self.ref_index,
+                                      pool_size=self.pool_size)
+
+    def stats(self) -> Dict[str, object]:
+        report = super().stats()
+        pool_stats = self._pool.stats() if self._pool is not None else None
+        report.update({
+            "pool_size": self.pool_size,
+            "pipelined": self._fanout_enabled,
+            "concurrent_batches": self.concurrent_batches,
+            "max_inflight_reads": self._inflight.peak,
+            "pool_wait_seconds": (pool_stats["pool_wait_seconds"]
+                                  if pool_stats else 0.0),
+            "pool_connections_opened": (pool_stats["connections_opened"]
+                                        if pool_stats else 0),
+        })
+        return report
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.concurrent_batches = 0
+        self._inflight.reset()
+        if self._pool is not None:
+            self._pool.reset_stats()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        super().close()

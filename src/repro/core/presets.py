@@ -21,8 +21,9 @@ CLI and the benchmark harness.
 :mod:`repro.core.scenario`): named :class:`~repro.core.scenario.Scenario`
 factories covering the paper-default transaction mix plus the read/write
 shapes the legacy runners could not express — ``read_heavy``,
-``write_heavy``, ``mixed_oltp``, ``scan_heavy`` and the decode-free
-``graph_walk``.
+``write_heavy``, ``mixed_oltp``, ``scan_heavy``, the decode-free
+``graph_walk`` and the skew-composition ``hot_spot`` (per-entry DIST5
+overrides steering Zipf-hot roots onto a sharded engine).
 """
 
 from __future__ import annotations
@@ -40,6 +41,7 @@ from repro.rand.distributions import (
     ConstantDistribution,
     SpecialDistribution,
     UniformDistribution,
+    ZipfDistribution,
 )
 
 __all__ = [
@@ -400,6 +402,28 @@ def _graph_walk_scenario() -> Scenario:
         backend="sqlite", backend_options={"ref_index": True})
 
 
+def _hot_spot_scenario() -> Scenario:
+    """Skewed hot-key traffic composed with uniform background reads.
+
+    The dominant traversal entry carries a *per-entry* DIST5 override
+    (Zipf, skew 1.2): its roots concentrate on the low-oid hot set while
+    the other entries keep the mix-wide uniform draw.  Run on the
+    sharded engine, the hot residue class makes shard-access imbalance
+    — ``remote_reads`` off a pinned home shard, per-shard access splits
+    — a *measured* property of skew + placement instead of a uniform
+    wash (pinned by ``tests/core/test_hot_spot.py``).
+    """
+    return Scenario(
+        mix=WorkloadMix(name="hot_spot", entries=(
+            MixEntry("structure_traversal", weight=0.60, depth=4,
+                     dist5=ZipfDistribution(skew=1.2)),
+            MixEntry("simple", weight=0.25, depth=3),
+            MixEntry("range_lookup", weight=0.15, range_width=10),
+        )),
+        clients=1, cold_ops=10, warm_ops=80,
+        backend="sharded-sqlite", backend_options={"shards": 4})
+
+
 ScenarioFactory = Callable[[], Scenario]
 
 SCENARIO_PRESETS: Dict[str, ScenarioFactory] = {
@@ -409,6 +433,7 @@ SCENARIO_PRESETS: Dict[str, ScenarioFactory] = {
     "mixed_oltp": _mixed_oltp_scenario,
     "scan_heavy": _scan_heavy_scenario,
     "graph_walk": _graph_walk_scenario,
+    "hot_spot": _hot_spot_scenario,
 }
 
 

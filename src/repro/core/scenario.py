@@ -189,6 +189,13 @@ class MixEntry:
     ``ref_type`` / ``dedupe`` / ``max_visits`` (semantics of Table 2);
     ``range_width`` parameterizes ``range_lookup`` entries.  Unset depth
     falls back to the paper's per-kind default.
+
+    ``dist5`` is a per-entry *root-distribution override*: when set, this
+    entry draws its transaction/traversal roots from its own distribution
+    instead of the mix-wide DIST5 — which is how a hot-spot entry (a
+    Zipf-skewed sliver of the oid space) composes with uniform background
+    traffic in one mix, and how hot-key skew is steered onto (or off) a
+    particular shard residue class.
     """
 
     kind: str
@@ -199,6 +206,7 @@ class MixEntry:
     dedupe: bool = False
     max_visits: int = 5000
     range_width: int = 10
+    dist5: Optional[Distribution] = None
 
     def __post_init__(self) -> None:
         if self.kind not in OPERATION_CLASS_ORDER:
@@ -248,18 +256,41 @@ class MixEntry:
                 spec[name] = value
         if self.max_visits != 5000:
             spec["max_visits"] = self.max_visits
+        if self.dist5 is not None:
+            # Same wire format as the mix-wide DIST5: name + every public
+            # constructor parameter.
+            spec["dist5"] = {
+                "name": self.dist5.name,
+                **{key: value for key, value in vars(self.dist5).items()
+                   if not key.startswith("_")}}
         return spec
 
     @classmethod
     def from_dict(cls, spec: Mapping[str, object]) -> "MixEntry":
         """Build from a JSON mapping; unknown keys are rejected."""
+        from repro.rand.distributions import distribution_from_name
         allowed = set(cls.__dataclass_fields__)
         unknown = set(spec) - allowed
         if unknown:
             raise ParameterError(
                 f"unknown MixEntry keys {sorted(unknown)}; "
                 f"allowed: {sorted(allowed)}")
-        return cls(**spec)  # type: ignore[arg-type]
+        spec = dict(spec)
+        dist5 = spec.pop("dist5", None)
+        if isinstance(dist5, str):
+            dist5 = distribution_from_name(dist5)
+        elif isinstance(dist5, Mapping):
+            params = dict(dist5)
+            name = params.pop("name", None)
+            if not isinstance(name, str):
+                raise ParameterError(
+                    "a dist5 mapping needs a 'name' string")
+            dist5 = distribution_from_name(name, **params)
+        return cls(dist5=dist5, **spec)  # type: ignore[arg-type]
+
+    def root_distribution(self, mix_dist5: Distribution) -> Distribution:
+        """The distribution this entry draws roots from (override or mix)."""
+        return self.dist5 if self.dist5 is not None else mix_dist5
 
 
 @dataclass(frozen=True)
@@ -467,6 +498,12 @@ class Scenario:
     #: records (header parsed, refs/back-refs deferred).  Default off so
     #: goldens and cost accounting stay byte-identical.
     lazy: bool = False
+    #: Pipelined BFS: sessions keep the next frontier chunk's read in
+    #: flight (engine submit/collect protocol) while the current chunk's
+    #: references are filtered.  Default off — the off path executes none
+    #: of the pool machinery, and traversal *results* are identical
+    #: either way (pinned by the equivalence tests).
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -496,6 +533,8 @@ class Scenario:
             spec["batch"] = self.batch
         if self.lazy:
             spec["lazy"] = self.lazy
+        if self.pipeline:
+            spec["pipeline"] = self.pipeline
         return spec
 
     @classmethod
@@ -509,7 +548,7 @@ class Scenario:
             mix = WorkloadMix.from_dict(mix)
         options = dict(spec.pop("backend_options", {}) or {})
         unknown = set(spec) - {"clients", "cold_ops", "warm_ops", "backend",
-                               "seed", "batch", "lazy"}
+                               "seed", "batch", "lazy", "pipeline"}
         if unknown:
             raise ParameterError(f"unknown Scenario keys {sorted(unknown)}")
         return cls(mix=mix, backend_options=options,
@@ -786,6 +825,14 @@ class ScenarioReport:
     #: and link-index traversals).  Summed over workers for processes.
     records_decoded: int = 0
     decodes_avoided: int = 0
+    #: Concurrent-I/O accounting from pooled engines: the peak number of
+    #: simultaneously executing pooled reads (max over workers — ``> 1``
+    #: proves genuine overlap), cumulative sub-batches / shards fanned
+    #: out concurrently (summed), and time spent blocked on an exhausted
+    #: pool (summed).  All zero on sequential configurations.
+    max_inflight_reads: int = 0
+    concurrent_batches: int = 0
+    pool_wait_seconds: float = 0.0
     #: Per-worker resource usage mappings when the scenario ran as
     #: monitored OS processes (see :class:`repro.obs.ResourceMonitor`).
     worker_resources: List[Dict[str, object]] = field(default_factory=list)
@@ -912,6 +959,9 @@ class ScenarioReport:
             "sql_round_trips": self.sql_round_trips,
             "records_decoded": self.records_decoded,
             "decodes_avoided": self.decodes_avoided,
+            "max_inflight_reads": self.max_inflight_reads,
+            "concurrent_batches": self.concurrent_batches,
+            "pool_wait_seconds": self.pool_wait_seconds,
             "read_misses": self.read_misses,
             "write_conflicts": self.write_conflicts,
             "late_starts": self.late_starts,
@@ -1081,7 +1131,8 @@ class ClientExecutor:
         live = self._live_sorted()
         if not live:
             raise WorkloadError("the database has no objects to traverse")
-        drawn = self.mix.dist5.draw(self.rng, 1, self.view.num_objects)
+        drawn = entry.root_distribution(self.mix.dist5).draw(
+            self.rng, 1, self.view.num_objects)
         root = live[(drawn - 1) % len(live)]
         reverse = (entry.reverse_probability > 0.0
                    and self.rng.random() < entry.reverse_probability)
@@ -1304,26 +1355,32 @@ class ClientExecutor:
             live = self._live_sorted()
             if not live:
                 return 0
-            drawn = self.mix.dist5.draw(self.rng, 1, self.view.num_objects)
+            drawn = entry.root_distribution(self.mix.dist5).draw(
+                self.rng, 1, self.view.num_objects)
             root = live[(drawn - 1) % len(live)]
             visited = {root}
             frontier = [root]
             for _ in range(entry.resolved_depth):
                 if not frontier or len(visited) >= entry.max_visits:
                     break
-                answers = self.session.traverse_refs_many(frontier)
-                frontier = []
-                for targets in answers.values():
-                    for target in targets:
-                        if len(visited) >= entry.max_visits:
-                            break
-                        # Skip edges into objects a concurrent client
-                        # deleted from this view; structure-only walks
-                        # tolerate them like read misses.
-                        if target not in visited \
-                                and target in self.view.objects:
-                            visited.add(target)
-                            frontier.append(target)
+                next_frontier: List[int] = []
+                # With pipelining on, the next frontier chunk's read is
+                # already in flight while this loop filters the current
+                # chunk; answers arrive in frontier order either way, so
+                # the visit set is mode-invariant.
+                for answers in self.session.iter_frontier_refs(frontier):
+                    for targets in answers.values():
+                        for target in targets:
+                            if len(visited) >= entry.max_visits:
+                                break
+                            # Skip edges into objects a concurrent client
+                            # deleted from this view; structure-only walks
+                            # tolerate them like read misses.
+                            if target not in visited \
+                                    and target in self.view.objects:
+                                visited.add(target)
+                                next_frontier.append(target)
+                frontier = next_frontier
             return len(visited)
         return self._timed(GenericOperation.STRUCTURE_TRAVERSAL, body)
 
@@ -1469,7 +1526,8 @@ class ScenarioRunner:
                               tref_table=view.tref_table(),
                               catalog=view.catalog(),
                               batch=scenario.batch,
-                              lazy=scenario.lazy)
+                              lazy=scenario.lazy,
+                              pipeline=scenario.pipeline)
             executors.append(ClientExecutor(
                 view, self.mix, session, client_id=client,
                 total_clients=scenario.clients, seed=scenario.seed,
@@ -1534,7 +1592,11 @@ class ScenarioRunner:
             executed_parallel=False,
             sql_round_trips=int(stats.get("sql_round_trips", 0) or 0),
             records_decoded=int(stats.get("records_decoded", 0) or 0),
-            decodes_avoided=int(stats.get("decodes_avoided", 0) or 0))
+            decodes_avoided=int(stats.get("decodes_avoided", 0) or 0),
+            max_inflight_reads=int(stats.get("max_inflight_reads", 0) or 0),
+            concurrent_batches=int(stats.get("concurrent_batches", 0) or 0),
+            pool_wait_seconds=float(
+                stats.get("pool_wait_seconds", 0.0) or 0.0))
 
     # -- process execution ------------------------------------------------ #
 
@@ -1563,11 +1625,6 @@ class ScenarioRunner:
                 "run_processes() does not support clustering policies; "
                 "worker processes would each need their own policy "
                 "instance — run the scenario in-process instead")
-        if self.scenario.lazy:
-            raise WorkloadError(
-                "run_processes() does not thread the lazy decode mode "
-                "through worker processes yet; run the scenario "
-                "in-process instead")
         scenario = self.scenario
         carrier = WorkloadParameters(
             cold_n=scenario.cold_ops, hot_n=scenario.warm_ops,
@@ -1575,7 +1632,8 @@ class ScenarioRunner:
         runner = ParallelRunner(
             self.database, scenario.backend, carrier, config=config,
             backend_options=dict(scenario.backend_options),
-            batch=scenario.batch, mix=self.mix)
+            batch=scenario.batch, mix=self.mix,
+            lazy=scenario.lazy, pipeline=scenario.pipeline)
         parallel_report = runner.run()
         clients = [worker.scenario_report
                    for worker in parallel_report.workers
@@ -1588,6 +1646,10 @@ class ScenarioRunner:
             for worker in parallel_report.workers)
         decodes_avoided = sum(
             int((worker.backend_stats or {}).get("decodes_avoided", 0) or 0)
+            for worker in parallel_report.workers)
+        concurrent_batches = sum(
+            int((worker.backend_stats or {}).get("concurrent_batches", 0)
+                or 0)
             for worker in parallel_report.workers)
         worker_resources = [
             dict(worker.resource_usage, worker=worker.worker_id)
@@ -1603,4 +1665,7 @@ class ScenarioRunner:
             sql_round_trips=sql_round_trips,
             records_decoded=records_decoded,
             decodes_avoided=decodes_avoided,
+            max_inflight_reads=parallel_report.max_inflight_reads,
+            concurrent_batches=concurrent_batches,
+            pool_wait_seconds=parallel_report.pool_wait_seconds,
             worker_resources=worker_resources)

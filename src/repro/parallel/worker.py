@@ -76,7 +76,9 @@ def _run_worker(spec: WorkerSpec) -> WorkerResult:
         store_config=spec.store_config,
         backend_options=backend_options,
         batch=spec.batch,
-        load=not spec.shared)
+        load=not spec.shared,
+        lazy=spec.lazy,
+        pipeline=spec.pipeline)
     if trace.enabled:
         trace.emit("worker.setup", time.perf_counter() - setup_start,
                    client=spec.client_id, shared=spec.shared)

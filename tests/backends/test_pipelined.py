@@ -1,0 +1,192 @@
+"""Pipelined SQLite engine: equivalence, overlap counters, lifecycle.
+
+The concurrent sub-batch fan-out must be invisible in every *answer*
+(byte-identical records, identical first-occurrence ordering, the same
+missing-oid errors) and visible only in the overlap counters
+(``max_inflight_reads``, ``concurrent_batches``) and the honestly
+higher round-trip count.  Degraded configurations — ``:memory:``, a
+pool of one — must keep the exact sequential behaviour and construct
+none of the pool machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.pipelined import PipelinedSQLiteBackend
+from repro.backends.registry import backend_info, create_backend
+from repro.backends.sqlite import SQLiteBackend
+from repro.errors import BackendError, UnknownObject
+from repro.store.serializer import StoredObject
+
+
+def _records(count=60):
+    return [StoredObject(oid=oid, cid=1 + oid % 5,
+                         refs=(oid % count + 1, (oid * 7) % count + 1),
+                         filler=16)
+            for oid in range(1, count + 1)]
+
+
+@pytest.fixture
+def loaded(tmp_path):
+    """The same records in a sequential engine and a pipelined one."""
+    sequential = SQLiteBackend(path=str(tmp_path / "seq.db"))
+    pipelined = PipelinedSQLiteBackend(path=str(tmp_path / "pipe.db"),
+                                       pool_size=3)
+    records = _records()
+    sequential.bulk_load(records)
+    pipelined.bulk_load(records)
+    yield sequential, pipelined
+    sequential.close()
+    pipelined.close()
+
+
+def test_read_many_answers_match_the_sequential_engine(loaded):
+    sequential, pipelined = loaded
+    oids = [7, 3, 3, 41, 60, 1, 19]
+    expected = sequential.read_many(oids)
+    got = pipelined.read_many(oids)
+    # The pipelined engine normalizes to first-occurrence order — a
+    # deterministic answer regardless of sub-batch completion order.
+    assert list(got) == [7, 3, 41, 60, 1, 19]
+    assert set(got) == set(expected)
+    for oid in expected:
+        assert got[oid].cid == expected[oid].cid
+        assert got[oid].refs == expected[oid].refs
+    stats = pipelined.stats()
+    assert stats["pipelined"] is True
+    assert stats["max_inflight_reads"] > 1
+    assert stats["concurrent_batches"] >= 2
+    # Lazy opening: connections materialize only as tasks genuinely
+    # overlap, so the count is timing-dependent — but never zero.
+    assert stats["pool_connections_opened"] >= 1
+
+
+def test_traverse_refs_many_matches_and_counts_overlap(loaded):
+    sequential, pipelined = loaded
+    oids = list(range(1, 61))
+    assert pipelined.traverse_refs_many(oids) \
+        == sequential.traverse_refs_many(oids)
+    assert pipelined.stats()["max_inflight_reads"] == 3
+    # Structure-only answers never decode a record.
+    assert pipelined.stats()["records_decoded"] == 0
+    assert pipelined.stats()["decodes_avoided"] == 60
+
+
+def test_lazy_reads_through_the_pool_avoid_decodes(loaded):
+    sequential, pipelined = loaded
+    oids = list(range(1, 31))
+    expected = sequential.read_many(oids)
+    got = pipelined.read_many(oids, lazy=True)
+    assert {oid: record.refs for oid, record in got.items()} \
+        == {oid: expected[oid].refs for oid in expected}
+    assert pipelined.stats()["decodes_avoided"] == 30
+
+
+def test_unknown_oid_raises_like_the_sequential_engine(loaded):
+    sequential, pipelined = loaded
+    with pytest.raises(UnknownObject):
+        sequential.read_many([1, 2, 999])
+    with pytest.raises(UnknownObject):
+        pipelined.read_many([1, 2, 999])
+    with pytest.raises(UnknownObject):
+        pipelined.traverse_refs_many([999, 1])
+
+
+def test_buffered_writes_are_published_to_the_pooled_readers(loaded):
+    _, pipelined = loaded
+    fresh = [StoredObject(oid=oid, cid=9, refs=(1,)) for oid in (101, 102)]
+    for record in fresh:
+        pipelined.insert_object(record)
+    # No explicit flush: the submit path must commit before the pooled
+    # readers (separate connections) run, or they read a stale file.
+    got = pipelined.read_many([101, 102, 1])
+    assert got[101].cid == 9 and got[102].cid == 9
+
+
+def test_single_oid_batches_skip_the_fanout(loaded):
+    _, pipelined = loaded
+    pipelined.reset_stats()
+    assert pipelined.read_many([5])[5].cid == 1
+    assert pipelined.read_many([5, 5, 5])[5].cid == 1  # one unique oid
+    assert pipelined.stats()["max_inflight_reads"] == 0
+    assert pipelined.stats()["concurrent_batches"] == 0
+
+
+def test_memory_and_pool_of_one_degrade_to_sequential(tmp_path):
+    records = _records(20)
+    memory = PipelinedSQLiteBackend()  # :memory: cannot pool
+    memory.bulk_load(records)
+    assert not memory.supports_async_reads
+    assert memory.read_many([3, 4])[3].cid == 4
+    assert memory.stats()["pipelined"] is False
+    assert memory._pool is None and memory._executor is None
+    memory.close()
+
+    narrow = PipelinedSQLiteBackend(path=str(tmp_path / "one.db"),
+                                    pool_size=1)
+    narrow.bulk_load(records)
+    assert not narrow.supports_async_reads
+    assert narrow.traverse_refs_many([1, 2, 3]) \
+        == {1: (2, 8), 2: (3, 15), 3: (4, 2)}
+    # Zero-overhead proof: the sequential path constructed no pool
+    # machinery at all, not merely an idle one.
+    assert narrow._pool is None and narrow._executor is None
+    assert narrow.stats()["max_inflight_reads"] == 0
+    narrow.close()
+
+    with pytest.raises(BackendError):
+        PipelinedSQLiteBackend(pool_size=0)
+
+
+def test_submit_collect_protocol_defers_the_counter_fold(loaded):
+    _, pipelined = loaded
+    pipelined.reset_stats()
+    handle = pipelined.submit_traverse_refs_many(list(range(1, 31)))
+    # Submitted: the batches are in flight but nothing folded yet.
+    assert pipelined.stats()["object_accesses"] == 0
+    answers = handle.result()
+    assert len(answers) == 30
+    assert handle.result() is answers  # cached, no double fold
+    assert pipelined.stats()["object_accesses"] == 30
+
+
+def test_reset_and_drop_caches_recycle_the_pool(loaded):
+    sequential, pipelined = loaded
+    before = pipelined.read_many(list(range(1, 41)))
+    pipelined.reset_stats()
+    stats = pipelined.stats()
+    assert stats["max_inflight_reads"] == 0
+    assert stats["concurrent_batches"] == 0
+    assert stats["pool_wait_seconds"] == 0.0
+    assert pipelined.drop_caches() is True
+    assert pipelined._pool is None  # cold means cold on every connection
+    after = pipelined.read_many(list(range(1, 41)))
+    assert list(after) == list(before)
+    assert {oid: record.refs for oid, record in after.items()} \
+        == {oid: record.refs for oid, record in before.items()}
+
+
+def test_connect_worker_carries_the_pool_config(loaded):
+    _, pipelined = loaded
+    worker = pipelined.connect_worker()
+    try:
+        assert isinstance(worker, PipelinedSQLiteBackend)
+        assert worker.pool_size == pipelined.pool_size
+        assert worker.supports_async_reads
+        assert worker.read_many([1, 2])[1].cid == 2
+    finally:
+        worker.close()
+
+
+def test_registry_builds_and_tags_the_backend(tmp_path):
+    assert backend_info("pipelined-sqlite").has_capability("pipelined")
+    assert backend_info("sharded-sqlite").has_capability("pipelined")
+    backend = create_backend("pipelined-sqlite",
+                             path=str(tmp_path / "reg.db"), pool_size=2)
+    try:
+        assert isinstance(backend, PipelinedSQLiteBackend)
+        assert backend.supports_async_reads
+        assert backend.stats()["pool_size"] == 2
+    finally:
+        backend.close()

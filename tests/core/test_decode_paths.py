@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import pytest
-
 from repro.backends.sqlite import SQLiteBackend
 from repro.core.presets import scenario_preset
 from repro.core.scenario import (
@@ -23,7 +21,6 @@ from repro.core.scenario import (
     WorkloadMix,
 )
 from repro.core.session import Session
-from repro.errors import WorkloadError
 from repro.store.serializer import LazyStoredObject
 
 
@@ -119,10 +116,17 @@ class TestLazySession:
         # Default mode stays byte-identical: the key is simply absent.
         assert "lazy" not in _structure_scenario().to_dict()
 
-    def test_run_processes_refuses_lazy_mode(self, small_database):
+    def test_run_processes_carries_lazy_mode(self, small_database):
+        """Process runs no longer refuse lazy scenarios: the flag rides
+        every WorkerSpec into the worker's session (the fuller coverage
+        lives in ``tests/parallel/test_pipeline_parallel.py``)."""
+        from repro.parallel.spec import ParallelConfig
+
         scenario = _structure_scenario(lazy=True, clients=2)
-        with pytest.raises(WorkloadError, match="lazy"):
-            ScenarioRunner(small_database, scenario).run_processes()
+        runner = ScenarioRunner(small_database, scenario)
+        report = runner.run_processes(config=ParallelConfig(parallel=False))
+        assert report.decodes_avoided > 0
+        assert report.records_decoded == 0
 
 
 class TestGraphWalkPreset:

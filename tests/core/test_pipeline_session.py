@@ -1,0 +1,155 @@
+"""Pipelined BFS at the session and scenario layers.
+
+Three guarantees: the pipeline flag only engages on engines that
+declare async-read support (and the off path executes *no* pool code —
+pinned with a constructor spy, not a timing claim); the one-chunk-ahead
+iterator genuinely overlaps (the next chunk is submitted before the
+current chunk's answers are consumed) while reproducing the sequential
+answers exactly; and a whole scenario run's logical results are
+byte-identical with the pipeline on and off.
+"""
+
+from __future__ import annotations
+
+from repro.backends.pipelined import PipelinedSQLiteBackend
+from repro.backends.pool import ConnectionPool
+from repro.backends.sqlite import SQLiteBackend
+from repro.core.generation import generate_database
+from repro.core.presets import default_database_parameters
+from repro.core.scenario import MixEntry, Scenario, ScenarioRunner, \
+    WorkloadMix
+from repro.core.session import Session, _PIPELINE_CHUNK
+
+
+class RecordingStore:
+    """A minimal async-capable store that logs the call interleaving."""
+
+    supports_async_reads = True
+    supports_batched_reads = True
+    object_count = 1
+
+    def __init__(self):
+        self.log = []
+
+    def traverse_refs_many(self, oids):
+        self.log.append(("sync", tuple(oids)))
+        return {oid: (oid + 1,) for oid in oids}
+
+    def submit_traverse_refs_many(self, oids):
+        oids = tuple(oids)
+        self.log.append(("submit", oids))
+
+        class Handle:
+            def result(_self):
+                self.log.append(("collect", oids))
+                return {oid: (oid + 1,) for oid in oids}
+        return Handle()
+
+
+def test_pipeline_is_gated_on_engine_support(tmp_path):
+    plain = SQLiteBackend(path=str(tmp_path / "plain.db"))
+    assert Session(plain, pipeline=True).pipeline is False
+    piped = PipelinedSQLiteBackend(path=str(tmp_path / "piped.db"),
+                                   pool_size=2)
+    assert Session(piped, pipeline=True).pipeline is True
+    assert Session(piped, pipeline=False).pipeline is False
+    plain.close()
+    piped.close()
+
+
+def test_pipeline_off_yields_one_sequential_call():
+    store = RecordingStore()
+    frontier = list(range(1, 3 * _PIPELINE_CHUNK))
+    session = Session(store, pipeline=False)
+    answers = list(session.iter_frontier_refs(frontier))
+    assert len(answers) == 1
+    assert store.log == [("sync", tuple(dict.fromkeys(frontier)))]
+
+
+def test_small_frontiers_skip_the_submit_protocol():
+    store = RecordingStore()
+    session = Session(store, pipeline=True)
+    frontier = list(range(1, _PIPELINE_CHUNK + 1))  # == chunk: no split
+    answers = list(session.iter_frontier_refs(frontier))
+    assert len(answers) == 1
+    assert store.log[0][0] == "sync"
+
+
+def test_pipelined_iteration_keeps_one_chunk_in_flight():
+    store = RecordingStore()
+    session = Session(store, pipeline=True)
+    frontier = list(range(2 * _PIPELINE_CHUNK + 10))
+    merged = {}
+    for answers in session.iter_frontier_refs(frontier):
+        merged.update(answers)
+    assert merged == {oid: (oid + 1,) for oid in frontier}
+    kinds = [kind for kind, _ in store.log]
+    # Three chunks; chunk i+1 is submitted *before* chunk i is collected.
+    assert kinds == ["submit", "submit", "collect", "submit",
+                     "collect", "collect"]
+    # Contiguous chunks in frontier order, collected in order.
+    collected = [oids for kind, oids in store.log if kind == "collect"]
+    assert list(sum(collected, ())) == frontier
+
+
+def test_pipeline_off_constructs_no_pool(monkeypatch, tmp_path):
+    """The zero-overhead claim, pinned structurally: a scenario run
+    without the pipeline (on a plain engine, even with the flag up)
+    never instantiates any pool machinery."""
+    def explode(*args, **kwargs):
+        raise AssertionError("ConnectionPool constructed on the off path")
+    monkeypatch.setattr(ConnectionPool, "__init__", explode)
+    database, _ = generate_database(
+        default_database_parameters(scale=0.02, seed=7))
+    scenario = Scenario(
+        mix=WorkloadMix(name="walk", entries=(
+            MixEntry("structure_traversal", weight=1.0, depth=3),)),
+        clients=1, cold_ops=1, warm_ops=4,
+        backend="sqlite", pipeline=True,
+        backend_options={"path": str(tmp_path / "off.db"),
+                         "ref_index": True})
+    report = ScenarioRunner(database, scenario).run()
+    assert report.merged_warm.operation_count == 4
+
+
+def _walk_scenario(pipeline, path):
+    return Scenario(
+        mix=WorkloadMix(name="walk", entries=(
+            MixEntry("structure_traversal", weight=0.7, depth=6,
+                     max_visits=2000),
+            MixEntry("simple", weight=0.3, depth=3),)),
+        clients=1, cold_ops=2, warm_ops=10, seed=42,
+        backend="pipelined-sqlite", pipeline=pipeline,
+        backend_options={"path": path, "ref_index": True, "pool_size": 3})
+
+
+def test_scenario_results_identical_with_pipeline_on(tmp_path):
+    database, _ = generate_database(
+        default_database_parameters(scale=0.05, seed=42))
+    reports = {}
+    for mode in (False, True):
+        runner = ScenarioRunner(
+            database, _walk_scenario(mode, str(tmp_path / f"{mode}.db")))
+        reports[mode] = runner.run()
+
+    def logical(report):
+        phase = report.merged_warm.to_dict()
+        return [(row["class"], row["count"], row["objects"])
+                for row in phase["per_class"]]
+
+    assert logical(reports[True]) == logical(reports[False])
+    assert reports[True].merged_cold.operation_count \
+        == reports[False].merged_cold.operation_count
+
+
+def test_scenario_pipeline_flag_round_trips():
+    scenario = Scenario(
+        mix=WorkloadMix(name="walk", entries=(
+            MixEntry("structure_traversal", weight=1.0),)),
+        pipeline=True)
+    spec = scenario.to_dict()
+    assert spec["pipeline"] is True
+    assert Scenario.from_dict(spec).pipeline is True
+    off = Scenario(mix=scenario.mix)
+    assert "pipeline" not in off.to_dict()
+    assert Scenario.from_dict(off.to_dict()).pipeline is False
